@@ -1,0 +1,182 @@
+// Command sweep runs parameter sweeps over the simulation and emits CSV
+// for plotting: queue-depth scaling, switch-hop latency scaling, transfer-
+// size behaviour (including the bounce-vs-IOMMU crossover), and host-count
+// scaling. Each sweep regenerates one curve underlying the evaluation.
+//
+// Usage:
+//
+//	sweep -what qd|hops|size|hosts [-op read|write] [-ios N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/smartio"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "qd", "sweep: qd, hops, size, hosts")
+		op   = flag.String("op", "read", "operation: read or write")
+		ios  = flag.Int("ios", 400, "measured I/Os per point")
+	)
+	flag.Parse()
+	fop := fio.RandRead
+	if *op == "write" {
+		fop = fio.RandWrite
+	}
+	switch *what {
+	case "qd":
+		sweepQD(fop, *ios)
+	case "hops":
+		sweepHops(fop, *ios)
+	case "size":
+		sweepSize(*ios)
+	case "hosts":
+		sweepHosts(*ios)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+// sweepQD: queue depth vs IOPS and median latency, local vs remote vs
+// fabrics.
+func sweepQD(op fio.Op, ios int) {
+	fmt.Println("scenario,qd,viops,vmed_us")
+	for _, s := range []cluster.Scenario{cluster.LinuxLocal, cluster.OursRemote, cluster.NVMeoFRemote} {
+		for _, qd := range []int{1, 2, 4, 8, 16, 32} {
+			res, err := cluster.RunJob(s, cluster.ScenarioConfig{}, fio.JobSpec{
+				Name: "qd", Op: op, QueueDepth: qd,
+				MaxIOs: ios, WarmupIOs: 20, RangeBlocks: 1 << 18, Seed: 7,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			lat := res.ReadLat
+			if op == fio.RandWrite {
+				lat = res.WriteLat
+			}
+			fmt.Printf("%s,%d,%.0f,%.2f\n", s, qd, res.IOPS(), lat.Median()/1000)
+		}
+	}
+}
+
+// sweepHops: extra switch chips vs QD1 latency (E6 curve).
+func sweepHops(op fio.Op, ios int) {
+	fmt.Println("chips,vmed_us")
+	for _, chips := range []int{0, 1, 2, 3, 4, 6, 8} {
+		res, err := cluster.RunJob(cluster.LinuxLocal, cluster.ScenarioConfig{
+			NVMe: cluster.NVMeConfig{ExtraSwitches: chips,
+				Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12}},
+		}, fio.JobSpec{
+			Name: "hops", Op: op, MaxIOs: ios, WarmupIOs: 10,
+			RangeBlocks: 1 << 16, Seed: 7,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lat := res.ReadLat
+		if op == fio.RandWrite {
+			lat = res.WriteLat
+		}
+		fmt.Printf("%d,%.2f\n", chips, lat.Median()/1000)
+	}
+}
+
+// sweepSize: write size vs latency for bounce and IOMMU zero-copy (the
+// E12 crossover curve).
+func sweepSize(ios int) {
+	fmt.Println("mode,kib,vmed_us")
+	for _, mode := range []string{"bounce", "iommu"} {
+		for _, kb := range []int{4, 8, 16, 32, 64, 96, 128, 192, 224} {
+			res, err := cluster.RunJob(cluster.OursRemote, cluster.ScenarioConfig{
+				Client: core.ClientParams{
+					ZeroCopy:       mode == "iommu",
+					PartitionBytes: 256 << 10,
+				},
+				Manager: core.ManagerParams{EnableIOMMU: mode == "iommu"},
+				NVMe:    cluster.NVMeConfig{Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12}},
+			}, fio.JobSpec{
+				Name: mode, Op: fio.RandWrite, BlockSize: kb << 10,
+				MaxIOs: ios / 4, WarmupIOs: 5, RangeBlocks: 1 << 18, Seed: 7,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s,%d,%.2f\n", mode, kb, res.WriteLat.Median()/1000)
+		}
+	}
+}
+
+// sweepHosts: concurrent client hosts vs aggregate IOPS (E10 curve).
+func sweepHosts(iosPerHost int) {
+	fmt.Println("hosts,aggregate_viops")
+	for _, k := range []int{1, 2, 4, 8, 12, 16, 24, 31} {
+		fmt.Printf("%d,%.0f\n", k, multiHostIOPS(k, iosPerHost/4))
+	}
+}
+
+func multiHostIOPS(clients, iosPerClient int) float64 {
+	c, err := cluster.New(cluster.Config{Hosts: clients + 1, MemBytes: 16 << 20, AdapterWindows: 1024})
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := c.AttachNVMe(0, cluster.NVMeConfig{}); err != nil {
+		fatal(err)
+	}
+	svc := smartio.NewService(c.Dir)
+	dev, err := svc.Register(0, "nvme0", pcie.Range{Base: cluster.NVMeBARBase, Size: cluster.NVMeBARSize})
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	var elapsed sim.Duration
+	c.Go("main", func(p *sim.Proc) {
+		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, core.ManagerParams{})
+		if err != nil {
+			fatal(err)
+		}
+		start := p.Now()
+		done := make([]*sim.Event, 0, clients)
+		for i := 1; i <= clients; i++ {
+			host := i
+			fin := sim.NewEvent(c.K)
+			done = append(done, fin)
+			c.Go("client", func(cp *sim.Proc) {
+				defer fin.Trigger(nil)
+				cl, err := core.NewClient(cp, "cl", svc, c.Hosts[host].Node, mgr,
+					core.ClientParams{QueueDepth: 8, PartitionBytes: 8192})
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 4096)
+				for k := 0; k < iosPerClient; k++ {
+					if cl.ReadBlocks(cp, uint64(host*100000+k*8), 8, buf) == nil {
+						total++
+					}
+				}
+			})
+		}
+		p.WaitAll(done...)
+		elapsed = p.Now() - start
+	})
+	c.Run()
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(total) / (float64(elapsed) / float64(sim.Second))
+}

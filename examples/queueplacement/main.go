@@ -1,0 +1,53 @@
+// Queueplacement demonstrates Figure 8: where a remote client's
+// submission queue lives changes the distance the controller reads
+// across to fetch commands. With the SQ in device-host memory ("device-
+// side", chosen by SmartIO's access-pattern hints) the client's posted
+// writes cross the NTB but the controller's non-posted SQE fetches stay
+// local; with the SQ on the client the fetches pay an NTB round trip on
+// every command.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/nvme"
+)
+
+func main() {
+	fmt.Println("Fig. 8 ablation: remote 4 kB QD1 random read, SQ placement policies")
+	fmt.Println("(cmb goes beyond the paper: the SQ lives inside the controller itself)")
+	fmt.Println()
+	var results []float64
+	for _, placement := range []core.SQPlacement{core.SQCMB, core.SQDeviceSide, core.SQClientLocal} {
+		res, err := cluster.RunJob(cluster.OursRemote, cluster.ScenarioConfig{
+			Client: core.ClientParams{Placement: placement},
+			NVMe: cluster.NVMeConfig{
+				Ctrl:  nvme.Params{CMBBytes: 16 << 10},
+				Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12}},
+		}, fio.JobSpec{
+			Name: placement.String(), Op: fio.RandRead,
+			MaxIOs: 400, WarmupIOs: 10, RangeBlocks: 1 << 16, Seed: 7,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queueplacement:", err)
+			os.Exit(1)
+		}
+		med := res.ReadLat.Median() / 1000
+		results = append(results, med)
+		fmt.Printf("  SQ %-13s median %.2f us  (%s)\n", placement, med, res.ReadLat.Box())
+	}
+	fmt.Println()
+	cmb, deviceSide, clientLocal := results[0], results[1], results[2]
+	fmt.Printf("device-side placement saves %.2f us per command: the controller's\n", clientLocal-deviceSide)
+	fmt.Println("SQE fetch is a local read instead of a non-posted read across the NTB,")
+	fmt.Println("while the client's SQE writes are posted and cost it nothing extra.")
+	fmt.Printf("CMB placement shaves a further %.2f us: the fetch never leaves the chip.\n", deviceSide-cmb)
+	if !(cmb < deviceSide && deviceSide < clientLocal) {
+		fmt.Fprintln(os.Stderr, "unexpected placement ordering")
+		os.Exit(1)
+	}
+}

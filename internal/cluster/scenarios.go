@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/hostdriver"
+	"repro/internal/nvme"
+	"repro/internal/nvmeof"
+	"repro/internal/pcie"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/smartio"
+)
+
+// Scenario names the four benchmark configurations of the paper's
+// Figure 9/10.
+type Scenario string
+
+// The four scenarios.
+const (
+	// LinuxLocal: stock Linux NVMe driver on the device's own host
+	// (Fig. 9a, local baseline).
+	LinuxLocal Scenario = "linux-local"
+	// NVMeoFRemote: stock initiator on a second host, SPDK-style target
+	// on the device host, RDMA transport (Fig. 9a, remote).
+	NVMeoFRemote Scenario = "nvmeof-remote"
+	// OursLocal: the distributed driver's client on the device host
+	// (Fig. 9b, local baseline).
+	OursLocal Scenario = "ours-local"
+	// OursRemote: the distributed driver's client on a second host over
+	// the NTB cluster (Fig. 9b, remote).
+	OursRemote Scenario = "ours-remote"
+)
+
+// Scenarios lists all four in the paper's presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{LinuxLocal, NVMeoFRemote, OursLocal, OursRemote}
+}
+
+// ScenarioConfig parameterizes a scenario build.
+type ScenarioConfig struct {
+	// NVMe configures the shared controller and medium.
+	NVMe NVMeConfig
+	// Cluster overrides fabric parameters (Hosts is set per scenario).
+	Cluster Config
+	// Client tunes the distributed driver's client (ours-* scenarios).
+	Client core.ClientParams
+	// Manager tunes the distributed driver's manager (ours-* scenarios).
+	Manager core.ManagerParams
+	// HostDriver tunes the stock driver (linux-local).
+	HostDriver hostdriver.Params
+	// Target and Initiator tune the NVMe-oF pair (nvmeof-remote).
+	Target    nvmeof.TargetParams
+	Initiator nvmeof.InitiatorParams
+	// BlockQueue tunes the block layer shared by every scenario.
+	BlockQueue block.QueueParams
+}
+
+// Env is an assembled scenario: a block queue backed by the scenario's
+// driver stack, ready for workloads.
+type Env struct {
+	Scenario Scenario
+	Cluster  *Cluster
+	Ctrl     *nvme.Controller
+	Queue    *block.Queue
+	// Client is the distributed-driver client for the ours-* scenarios
+	// (nil otherwise); exposes phase instrumentation.
+	Client *core.Client
+}
+
+// Build creates the cluster for scenario s (but no drivers yet).
+func Build(s Scenario, cfg ScenarioConfig) (*Cluster, *nvme.Controller, error) {
+	cc := cfg.Cluster
+	switch s {
+	case LinuxLocal, OursLocal:
+		cc.Hosts = 1
+	case NVMeoFRemote, OursRemote:
+		cc.Hosts = 2
+	default:
+		return nil, nil, fmt.Errorf("cluster: unknown scenario %q", s)
+	}
+	if cc.AdapterWindows == 0 {
+		cc.AdapterWindows = 256
+	}
+	c, err := New(cc)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err := c.AttachNVMe(0, cfg.NVMe)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, ctrl, nil
+}
+
+// bringUp constructs the scenario's driver stack inside process p and
+// returns the block queue.
+func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg ScenarioConfig) (*block.Queue, *core.Client, error) {
+	switch s {
+	case LinuxLocal:
+		drv, err := hostdriver.New(p, "nvme0n1", c.Hosts[0].Port, NVMeBARBase, ctrl, cfg.HostDriver)
+		if err != nil {
+			return nil, nil, err
+		}
+		return block.NewQueue(c.K, drv, cfg.BlockQueue), nil, nil
+
+	case OursLocal, OursRemote:
+		svc := smartio.NewService(c.Dir)
+		dev, err := svc.Register(0, "nvme0", pcie.Range{Base: NVMeBARBase, Size: NVMeBARSize})
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, cfg.Manager)
+		if err != nil {
+			return nil, nil, err
+		}
+		clientHost := 0
+		if s == OursRemote {
+			clientHost = 1
+		}
+		cl, err := core.NewClient(p, "dnvme0", svc, c.Hosts[clientHost].Node, mgr, cfg.Client)
+		if err != nil {
+			return nil, nil, err
+		}
+		return block.NewQueue(c.K, cl, cfg.BlockQueue), cl, nil
+
+	case NVMeoFRemote:
+		attach := func(h *Host, name string) *rdma.NIC {
+			ep := h.Dom.AddNode(pcie.Endpoint, name)
+			if err := h.Dom.Connect(h.RC, ep); err != nil {
+				panic(err)
+			}
+			return rdma.NewNIC(name, h.Port, ep, rdma.Params{})
+		}
+		nicT := attach(c.Hosts[0], "cx5-target")
+		nicI := attach(c.Hosts[1], "cx5-init")
+		qpT, qpI := nicT.NewQP(), nicI.NewQP()
+		rdma.Connect(qpT, qpI)
+		tgt, err := nvmeof.NewTarget(p, c.Hosts[0].Port, NVMeBARBase, cfg.Target)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := tgt.Serve(p, qpT); err != nil {
+			return nil, nil, err
+		}
+		ini, err := nvmeof.NewInitiator(p, "nvme1n1", c.Hosts[1].Port, qpI, cfg.Initiator)
+		if err != nil {
+			return nil, nil, err
+		}
+		return block.NewQueue(c.K, ini, cfg.BlockQueue), nil, nil
+	}
+	return nil, nil, fmt.Errorf("cluster: unknown scenario %q", s)
+}
+
+// RunWorkload builds scenario s and executes fn (from a simulation
+// process) against its block queue, then drains the simulation.
+func RunWorkload(s Scenario, cfg ScenarioConfig, fn func(p *sim.Proc, env *Env) error) error {
+	c, ctrl, err := Build(s, cfg)
+	if err != nil {
+		return err
+	}
+	var runErr error
+	c.Go(string(s), func(p *sim.Proc) {
+		q, cl, err := bringUp(p, s, c, ctrl, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		env := &Env{Scenario: s, Cluster: c, Ctrl: ctrl, Queue: q, Client: cl}
+		runErr = fn(p, env)
+	})
+	c.Run()
+	return runErr
+}
+
+// RunJob builds scenario s and runs one fio job on it.
+func RunJob(s Scenario, cfg ScenarioConfig, spec fio.JobSpec) (*fio.Result, error) {
+	var res *fio.Result
+	err := RunWorkload(s, cfg, func(p *sim.Proc, env *Env) error {
+		var err error
+		res, err = fio.Run(p, env.Queue, spec)
+		return err
+	})
+	return res, err
+}

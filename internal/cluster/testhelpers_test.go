@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/smartio"
+)
+
+// clientEnv bundles a distributed client with its block queue.
+type clientEnv struct {
+	cl *core.Client
+	q  *block.Queue
+}
+
+// runDistributed sets up the SmartIO service, a manager on host 0 and
+// nClients clients on hosts 1..nClients, then runs fn in the main
+// simulation process.
+func runDistributed(t *testing.T, c *Cluster, ctrl *nvme.Controller, nClients int,
+	fn func(p *sim.Proc, clients []*clientEnv)) {
+	t.Helper()
+	svc := smartio.NewService(c.Dir)
+	dev, err := svc.Register(0, "nvme0", pcie.Range{Base: NVMeBARBase, Size: NVMeBARSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Go("main", func(p *sim.Proc) {
+		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, core.ManagerParams{})
+		if err != nil {
+			t.Errorf("manager: %v", err)
+			return
+		}
+		var clients []*clientEnv
+		for i := 1; i <= nClients; i++ {
+			cl, err := core.NewClient(p, fmt.Sprintf("dnvme%d", i), svc,
+				c.Hosts[i].Node, mgr, core.ClientParams{})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			clients = append(clients, &clientEnv{
+				cl: cl,
+				q:  block.NewQueue(c.K, cl, block.QueueParams{}),
+			})
+		}
+		fn(p, clients)
+	})
+	c.Run()
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// cmbCfg attaches a controller exposing a 16 KiB controller memory buffer.
+func cmbCfg() cluster.NVMeConfig {
+	return cluster.NVMeConfig{Ctrl: nvme.Params{CMBBytes: 16 << 10}}
+}
+
+func TestCMBPlacementReadWrite(t *testing.T) {
+	r := newRig(t, 2, cmbCfg())
+	r.start(t, func(p *sim.Proc) {
+		if r.mgr.CMBBytes() != 16<<10 {
+			t.Errorf("manager discovered CMB of %d bytes", r.mgr.CMBBytes())
+		}
+		done := sim.NewEvent(r.c.K)
+		r.c.Go("client", func(cp *sim.Proc) {
+			defer done.Trigger(nil)
+			cl, err := core.NewClient(cp, "cmb", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{Placement: core.SQCMB})
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			if cl.Placement() != core.SQCMB {
+				t.Error("placement not recorded")
+			}
+			want := bytes.Repeat([]byte{0xC3, 0x3C}, 2048)
+			if err := cl.WriteBlocks(cp, 900, 8, want); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			got := make([]byte, 4096)
+			if err := cl.ReadBlocks(cp, 900, 8, got); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("data mismatch with SQ in CMB")
+			}
+		})
+		p.Wait(done)
+	})
+}
+
+func TestCMBWithoutBufferRejected(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{}) // no CMB
+	r.start(t, func(p *sim.Proc) {
+		if _, err := core.NewClient(p, "c", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{Placement: core.SQCMB}); !errors.Is(err, core.ErrBadGrant) {
+			t.Errorf("got %v, want ErrBadGrant", err)
+		}
+	})
+}
+
+func TestCMBExhaustionAndReuse(t *testing.T) {
+	// 16 KiB CMB; each depth-64 SQ takes 4 KiB: four clients fit, the
+	// fifth is refused, and closing one frees its space.
+	r := newRig(t, 2, cmbCfg())
+	r.start(t, func(p *sim.Proc) {
+		var clients []*core.Client
+		for i := 0; i < 4; i++ {
+			cl, err := core.NewClient(p, "c", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{Placement: core.SQCMB})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			clients = append(clients, cl)
+		}
+		if _, err := core.NewClient(p, "c5", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{Placement: core.SQCMB}); !errors.Is(err, core.ErrBadGrant) {
+			t.Errorf("fifth CMB client: %v, want ErrBadGrant", err)
+			return
+		}
+		if err := clients[1].Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		if _, err := core.NewClient(p, "c6", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{Placement: core.SQCMB}); err != nil {
+			t.Errorf("reuse freed CMB: %v", err)
+		}
+	})
+}
+
+// TestCMBPlacementFastest: the placement spectrum — client-local (fetch
+// across NTB) > device-side (fetch from device-host DRAM) > CMB (internal
+// SRAM) — must order correctly.
+func TestCMBPlacementFastest(t *testing.T) {
+	lat := func(pl core.SQPlacement) sim.Duration {
+		r := newRig(t, 2, cluster.NVMeConfig{
+			Ctrl:  nvme.Params{CMBBytes: 16 << 10},
+			Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12},
+		})
+		var out sim.Duration
+		r.start(t, func(p *sim.Proc) {
+			done := sim.NewEvent(r.c.K)
+			r.c.Go("client", func(cp *sim.Proc) {
+				defer done.Trigger(nil)
+				cl, err := core.NewClient(cp, "c", r.svc, r.c.Hosts[1].Node, r.mgr,
+					core.ClientParams{Placement: pl})
+				if err != nil {
+					t.Errorf("client: %v", err)
+					return
+				}
+				buf := make([]byte, 4096)
+				cl.ReadBlocks(cp, 0, 8, buf)
+				start := cp.Now()
+				const n = 10
+				for i := 0; i < n; i++ {
+					if err := cl.ReadBlocks(cp, uint64(i*8), 8, buf); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+				out = (cp.Now() - start) / n
+			})
+			p.Wait(done)
+		})
+		return out
+	}
+	clientLocal := lat(core.SQClientLocal)
+	deviceSide := lat(core.SQDeviceSide)
+	cmb := lat(core.SQCMB)
+	if !(cmb < deviceSide && deviceSide < clientLocal) {
+		t.Fatalf("placement order wrong: cmb=%d device-side=%d client-local=%d",
+			cmb, deviceSide, clientLocal)
+	}
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// TestRemoteInterrupts exercises the future-work extension: MSI-X
+// interrupts delivered across the NTB into a client-local mailbox.
+func TestRemoteInterrupts(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		done := sim.NewEvent(r.c.K)
+		r.c.Go("client", func(cp *sim.Proc) {
+			defer done.Trigger(nil)
+			cl, err := core.NewClient(cp, "intr", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{UseInterrupts: true})
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			want := bytes.Repeat([]byte{0x1E}, 4096)
+			if err := cl.WriteBlocks(cp, 700, 8, want); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			got := make([]byte, 4096)
+			if err := cl.ReadBlocks(cp, 700, 8, got); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("data mismatch in interrupt mode")
+			}
+		})
+		p.Wait(done)
+	})
+	if r.ctrl.Stats.Interrupts == 0 {
+		t.Fatal("no MSI interrupts delivered in interrupt mode")
+	}
+}
+
+// TestInterruptModeSlowerThanPolling confirms the paper's implicit
+// trade-off: polling completes faster than interrupt delivery (which is
+// why both the paper's driver and SPDK poll), at the cost of burning a
+// CPU.
+func TestInterruptModeSlowerThanPolling(t *testing.T) {
+	lat := func(useIntr bool) sim.Duration {
+		r := newRig(t, 2, cluster.NVMeConfig{
+			Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12},
+		})
+		var out sim.Duration
+		r.start(t, func(p *sim.Proc) {
+			done := sim.NewEvent(r.c.K)
+			r.c.Go("client", func(cp *sim.Proc) {
+				defer done.Trigger(nil)
+				cl, err := core.NewClient(cp, "c", r.svc, r.c.Hosts[1].Node, r.mgr,
+					core.ClientParams{UseInterrupts: useIntr})
+				if err != nil {
+					t.Errorf("client: %v", err)
+					return
+				}
+				buf := make([]byte, 4096)
+				cl.ReadBlocks(cp, 0, 8, buf)
+				start := cp.Now()
+				const n = 10
+				for i := 0; i < n; i++ {
+					if err := cl.ReadBlocks(cp, uint64(i*8), 8, buf); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+				out = (cp.Now() - start) / n
+			})
+			p.Wait(done)
+		})
+		return out
+	}
+	polling := lat(false)
+	interrupts := lat(true)
+	if interrupts <= polling {
+		t.Fatalf("interrupt mode (%d ns) not slower than polling (%d ns)", interrupts, polling)
+	}
+	if interrupts-polling > 3000 {
+		t.Fatalf("interrupt overhead %d ns implausibly high", interrupts-polling)
+	}
+}
+
+// TestInterruptClientClose verifies interrupt-mode clients release their
+// mailbox segment and queue pair cleanly.
+func TestInterruptClientClose(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		done := sim.NewEvent(r.c.K)
+		r.c.Go("client", func(cp *sim.Proc) {
+			defer done.Trigger(nil)
+			cl, err := core.NewClient(cp, "c", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{UseInterrupts: true})
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			if err := cl.Close(cp); err != nil {
+				t.Errorf("close: %v", err)
+				return
+			}
+			// Reattach works; queue pair was recycled.
+			cl2, err := core.NewClient(cp, "c2", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{UseInterrupts: true})
+			if err != nil {
+				t.Errorf("reattach: %v", err)
+				return
+			}
+			if cl2.QID() != cl.QID() {
+				t.Errorf("qid %d, want recycled %d", cl2.QID(), cl.QID())
+			}
+		})
+		p.Wait(done)
+	})
+}

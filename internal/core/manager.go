@@ -1,0 +1,403 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/iommu"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/sisci"
+	"repro/internal/smartio"
+)
+
+// Manager errors.
+var (
+	ErrNoFreeQueues = errors.New("core: no free I/O queue pairs")
+	ErrBadGrant     = errors.New("core: invalid queue grant")
+)
+
+// ManagerParams tunes the manager module.
+type ManagerParams struct {
+	// AdminDepth is the admin queue depth.
+	AdminDepth int
+	// EnableIOMMU creates an IOMMU domain on the device host so clients
+	// can run zero-copy (the §V future-work extension): request buffers
+	// are mapped per I/O through IOVA page tables instead of bounced.
+	EnableIOMMU bool
+	// IOMMUAperture sizes the IOVA space (default 256 MiB).
+	IOMMUAperture uint64
+	// RPCServiceNs is the manager-side cost of servicing one client
+	// request (message parsing, bookkeeping). Control-plane only.
+	RPCServiceNs int64
+	// RPCTransportNs is the one-way client<->manager message latency over
+	// the shared-memory mailbox.
+	RPCTransportNs int64
+}
+
+func (mp ManagerParams) withDefaults() ManagerParams {
+	if mp.AdminDepth == 0 {
+		mp.AdminDepth = 64
+	}
+	if mp.RPCServiceNs == 0 {
+		mp.RPCServiceNs = 2000
+	}
+	if mp.RPCTransportNs == 0 {
+		mp.RPCTransportNs = 1500
+	}
+	if mp.IOMMUAperture == 0 {
+		mp.IOMMUAperture = 256 << 20
+	}
+	return mp
+}
+
+// IOMMUApertureBase is where the device host's IOVA space is claimed.
+const IOMMUApertureBase = 0xC000_0000
+
+// QueueGrant is the manager's reply to a queue-pair request.
+type QueueGrant struct {
+	QID   uint16
+	Depth int
+	DSTRD uint8
+	// IV is the MSI-X vector assigned when interrupts were requested.
+	IV uint16
+	// IOVABase/IOVASize delimit the client's slice of the device host's
+	// IOMMU aperture when one was requested (zero-copy mode).
+	IOVABase uint64
+	IOVASize uint64
+	// CMBOffset is the granted SQ offset within the controller memory
+	// buffer (valid when CMBGranted).
+	CMBOffset  uint64
+	CMBGranted bool
+}
+
+type qpRequest struct {
+	depth     int
+	sqDevAddr uint64
+	cqDevAddr uint64
+	// msiDevAddr, when nonzero, asks the manager to program an MSI-X
+	// vector posting to this device-domain address (a window into the
+	// client's interrupt mailbox) — the extension §V leaves as future
+	// work, enabled here behind ClientParams.UseInterrupts.
+	msiDevAddr uint64
+	// iovaBytes, when nonzero, requests a slice of the IOMMU aperture.
+	iovaBytes uint64
+	// cmbBytes, when nonzero, asks the manager to place the SQ inside
+	// the controller memory buffer instead of host memory.
+	cmbBytes uint64
+	reply    *sim.Event // payload: QueueGrant or error
+}
+
+type qpRelease struct {
+	qid   uint16
+	reply *sim.Event
+}
+
+// Manager is the device-host module: it owns the controller's admin queue
+// pair and performs privileged operations for clients.
+type Manager struct {
+	svc    *smartio.Service
+	node   *sisci.Node
+	ref    *smartio.Ref
+	admin  *nvme.AdminClient
+	params ManagerParams
+	meta   Metadata
+	ns     nvme.IdentifyNamespace
+	used   []bool
+	mail   *sim.Queue
+
+	// mmu is the device host's IOMMU domain (EnableIOMMU); iovaNext is a
+	// bump pointer and iovaByQID records grants for release.
+	mmu       *iommu.Unit
+	iovaNext  uint64
+	iovaByQID map[uint16][2]uint64
+
+	// cmbBytes is the controller memory buffer capacity read from
+	// CMBSZ; cmbByQID tracks SQ-in-CMB grants as (offset, size).
+	cmbBytes uint64
+	cmbByQID map[uint16][2]uint64
+	barBase  pcie.Addr
+
+	// GrantedQueues counts queue pairs handed out, for observability.
+	GrantedQueues int
+}
+
+// NewManager acquires the device exclusively, resets and initializes the
+// controller, publishes the metadata segment, downgrades to a shared
+// reference and starts servicing client requests.
+func NewManager(p *sim.Proc, svc *smartio.Service, devID smartio.DeviceID, node *sisci.Node, params ManagerParams) (*Manager, error) {
+	params = params.withDefaults()
+	ref, err := svc.Acquire(devID, node, true)
+	if err != nil {
+		return nil, err
+	}
+	bar, err := ref.MapBAR()
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m := &Manager{svc: svc, node: node, ref: ref, params: params, barBase: bar}
+	m.admin = nvme.NewAdminClient(node.Host(), bar)
+	if err := m.admin.Enable(p, params.AdminDepth); err != nil {
+		ref.Release()
+		return nil, err
+	}
+	// Discover the controller memory buffer, if any (CMBLOC/CMBSZ).
+	cmbsz, err := m.admin.Reg32(p, nvme.RegCMBSZ)
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m.cmbBytes = uint64(cmbsz)
+	m.cmbByQID = make(map[uint16][2]uint64)
+	ident, err := m.admin.Identify(p)
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m.ns, err = m.admin.IdentifyNamespace(p, 1)
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	nsq, _, err := m.admin.SetNumQueues(p, 64)
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m.used = make([]bool, nsq+1) // index by QID; 0 reserved (admin)
+	m.used[0] = true
+
+	// Publish metadata.
+	seg, err := node.CreateSegment(MetaSegmentID, MetaSize)
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m.meta = Metadata{
+		ManagerNode: uint32(node.ID),
+		DeviceID:    uint32(devID),
+		BlockShift:  uint32(m.nsBlockShift()),
+		Blocks:      m.ns.NSZE,
+		MaxQueues:   uint32(nsq),
+		DSTRD:       uint32(m.admin.DSTRD),
+		Serial:      ident.Serial,
+	}
+	if err := node.Host().Write(p, seg.Addr, marshalMetadata(m.meta)); err != nil {
+		ref.Release()
+		return nil, err
+	}
+	seg.SetAvailable()
+
+	if params.EnableIOMMU {
+		// The IOMMU sits at the root complex: device traffic reaches it
+		// there and translated transactions re-enter routing from there.
+		m.mmu, err = iommu.New("iommu-"+m.meta.Serial, node.Host().Domain(),
+			node.Host().Node(),
+			pcie.Range{Base: IOMMUApertureBase, Size: params.IOMMUAperture}, iommu.Params{})
+		if err != nil {
+			ref.Release()
+			return nil, err
+		}
+		m.iovaByQID = make(map[uint16][2]uint64)
+	}
+
+	// Allow clients in.
+	if err := ref.Downgrade(); err != nil {
+		ref.Release()
+		return nil, err
+	}
+	m.mail = sim.NewQueue(node.Host().Domain().Kernel())
+	node.Host().Domain().Kernel().Spawn("core/manager", m.serve)
+	return m, nil
+}
+
+func (m *Manager) nsBlockShift() uint8 { return m.ns.LBADS }
+
+// Metadata returns the published device description.
+func (m *Manager) Metadata() Metadata { return m.meta }
+
+// Node returns the manager's host node.
+func (m *Manager) Node() *sisci.Node { return m.node }
+
+// serve is the manager process: it pops client requests from the
+// shared-memory mailbox and performs admin operations on their behalf.
+func (m *Manager) serve(p *sim.Proc) {
+	for {
+		msg := p.Pop(m.mail)
+		p.Sleep(m.params.RPCServiceNs)
+		switch req := msg.(type) {
+		case *qpRequest:
+			grant, err := m.createQP(p, req)
+			if err != nil {
+				req.reply.Trigger(err)
+			} else {
+				req.reply.Trigger(grant)
+			}
+		case *qpRelease:
+			err := m.deleteQP(p, req.qid)
+			req.reply.Trigger(err)
+		}
+	}
+}
+
+func (m *Manager) createQP(p *sim.Proc, req *qpRequest) (QueueGrant, error) {
+	qid := uint16(0)
+	for i := 1; i < len(m.used); i++ {
+		if !m.used[i] {
+			qid = uint16(i)
+			break
+		}
+	}
+	if qid == 0 {
+		return QueueGrant{}, ErrNoFreeQueues
+	}
+	depth := req.depth
+	if depth < 2 {
+		depth = 2
+	}
+	if depth > int(m.admin.MQES)+1 {
+		depth = int(m.admin.MQES) + 1
+	}
+	sqDevAddr := req.sqDevAddr
+	var cmbOff uint64
+	cmbGranted := false
+	var cmbSize uint64
+	if req.cmbBytes > 0 {
+		cmbSize = (req.cmbBytes + 63) &^ 63
+		off, err := m.cmbAlloc(cmbSize)
+		if err != nil {
+			return QueueGrant{}, err
+		}
+		cmbOff = off
+		sqDevAddr = uint64(m.barBase) + nvme.CMBBase + cmbOff
+		cmbGranted = true
+	}
+	ien := req.msiDevAddr != 0
+	iv := uint16(0)
+	if ien {
+		// Program the vector's MSI-X table entry through the BAR before
+		// creating the CQ that references it.
+		iv = qid
+		entry := nvme.MSIXTableBase + uint64(iv)*nvme.MSIXEntrySize
+		if err := m.admin.WriteReg64(p, entry, req.msiDevAddr); err != nil {
+			return QueueGrant{}, err
+		}
+		if err := m.admin.WriteReg32(p, entry+8, uint32(iv)); err != nil {
+			return QueueGrant{}, err
+		}
+	}
+	if err := m.admin.CreateQueuePair(p, qid, depth, sqDevAddr, req.cqDevAddr, ien, iv); err != nil {
+		return QueueGrant{}, err
+	}
+	grant := QueueGrant{QID: qid, Depth: depth, DSTRD: m.admin.DSTRD, IV: iv,
+		CMBOffset: cmbOff, CMBGranted: cmbGranted}
+	if cmbGranted {
+		m.cmbByQID[qid] = [2]uint64{cmbOff, cmbSize}
+	}
+	if req.iovaBytes > 0 {
+		if m.mmu == nil {
+			_ = m.admin.DeleteQueuePair(p, qid)
+			return QueueGrant{}, fmt.Errorf("%w: IOMMU not enabled on manager", ErrBadGrant)
+		}
+		size := (req.iovaBytes + iommu.PageSize - 1) &^ (iommu.PageSize - 1)
+		if m.iovaNext+size > m.params.IOMMUAperture {
+			_ = m.admin.DeleteQueuePair(p, qid)
+			return QueueGrant{}, fmt.Errorf("%w: IOVA aperture exhausted", ErrBadGrant)
+		}
+		grant.IOVABase = IOMMUApertureBase + m.iovaNext
+		grant.IOVASize = size
+		m.iovaByQID[qid] = [2]uint64{grant.IOVABase, size}
+		m.iovaNext += size
+	}
+	m.used[qid] = true
+	m.GrantedQueues++
+	return grant, nil
+}
+
+func (m *Manager) deleteQP(p *sim.Proc, qid uint16) error {
+	if int(qid) >= len(m.used) || !m.used[qid] {
+		return fmt.Errorf("%w: qid %d", ErrBadGrant, qid)
+	}
+	if err := m.admin.DeleteQueuePair(p, qid); err != nil {
+		return err
+	}
+	delete(m.iovaByQID, qid)
+	delete(m.cmbByQID, qid)
+	m.used[qid] = false
+	m.GrantedQueues--
+	return nil
+}
+
+// CMBBytes returns the controller memory buffer capacity discovered at
+// initialization (0 when the device has none).
+func (m *Manager) CMBBytes() uint64 { return m.cmbBytes }
+
+// cmbAlloc finds the lowest free CMB offset with room for size bytes,
+// first-fit over live grants so released space is reusable.
+func (m *Manager) cmbAlloc(size uint64) (uint64, error) {
+	if size > m.cmbBytes {
+		return 0, fmt.Errorf("%w: CMB of %d bytes cannot hold %d", ErrBadGrant, m.cmbBytes, size)
+	}
+	cand := uint64(0)
+	for {
+		if cand+size > m.cmbBytes {
+			return 0, fmt.Errorf("%w: CMB exhausted", ErrBadGrant)
+		}
+		conflict := false
+		for _, g := range m.cmbByQID {
+			if cand < g[0]+g[1] && g[0] < cand+size {
+				if next := g[0] + g[1]; next > cand {
+					cand = next
+				}
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return cand, nil
+		}
+	}
+}
+
+// IOMMU returns the device host's IOMMU domain, standing in for the
+// page-table segment a zero-copy client maps to program its own IOVA
+// slice directly (entries are written with posted NTB writes, so no RPC
+// sits on the I/O path).
+func (m *Manager) IOMMU() *iommu.Unit { return m.mmu }
+
+// RequestQueuePair asks the manager to create an I/O queue pair whose SQ
+// and CQ live at the given device-domain addresses. A nonzero msiDevAddr
+// additionally requests MSI-X delivery to that (device-domain) address.
+// Called from a client process; the round trip models the shared-memory
+// RPC of §V.
+func (m *Manager) RequestQueuePair(p *sim.Proc, depth int, sqDevAddr, cqDevAddr, msiDevAddr, iovaBytes, cmbBytes uint64) (QueueGrant, error) {
+	req := &qpRequest{depth: depth, sqDevAddr: sqDevAddr, cqDevAddr: cqDevAddr,
+		msiDevAddr: msiDevAddr, iovaBytes: iovaBytes, cmbBytes: cmbBytes,
+		reply: sim.NewEvent(p.Kernel())}
+	p.Sleep(m.params.RPCTransportNs)
+	m.mail.Push(req)
+	v := p.Wait(req.reply)
+	p.Sleep(m.params.RPCTransportNs)
+	switch out := v.(type) {
+	case QueueGrant:
+		return out, nil
+	case error:
+		return QueueGrant{}, out
+	}
+	return QueueGrant{}, ErrBadGrant
+}
+
+// ReleaseQueuePair returns a queue pair to the manager.
+func (m *Manager) ReleaseQueuePair(p *sim.Proc, qid uint16) error {
+	req := &qpRelease{qid: qid, reply: sim.NewEvent(p.Kernel())}
+	p.Sleep(m.params.RPCTransportNs)
+	m.mail.Push(req)
+	v := p.Wait(req.reply)
+	p.Sleep(m.params.RPCTransportNs)
+	if v == nil {
+		return nil
+	}
+	return v.(error)
+}

@@ -1,0 +1,109 @@
+// Package core implements the paper's primary contribution (§V): the
+// distributed kernel-space NVMe driver. A Manager module on the device's
+// host initializes the controller, owns the admin queue pair and performs
+// privileged operations (I/O queue creation/deletion) on behalf of
+// clients; Client modules — on any host in the cluster — each own one
+// I/O queue pair, registered with the block layer as an ordinary block
+// device, and operate the shared controller in parallel without any
+// cross-host locking.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sisci"
+)
+
+// MetaSegmentID is the well-known SISCI segment the manager publishes so
+// clients can bootstrap ("informs clients that the device is being
+// managed and tells them how to contact the manager", §V).
+const MetaSegmentID sisci.SegmentID = 0x0D15C0DE
+
+// metaMagic marks an initialized metadata segment.
+const metaMagic uint32 = 0x534D494F // "SMIO"
+
+// MetaSize is the metadata segment size.
+const MetaSize = 4096
+
+// Metadata is the manager's published device description.
+type Metadata struct {
+	ManagerNode uint32
+	DeviceID    uint32
+	BlockShift  uint32
+	Blocks      uint64
+	MaxQueues   uint32
+	DSTRD       uint32
+	Serial      string
+}
+
+// ErrNotManaged is returned when the metadata segment is absent or
+// invalid.
+var ErrNotManaged = errors.New("core: device is not managed")
+
+func marshalMetadata(m Metadata) []byte {
+	b := make([]byte, MetaSize)
+	binary.LittleEndian.PutUint32(b[0:], metaMagic)
+	binary.LittleEndian.PutUint32(b[4:], m.ManagerNode)
+	binary.LittleEndian.PutUint32(b[8:], m.DeviceID)
+	binary.LittleEndian.PutUint32(b[12:], m.BlockShift)
+	binary.LittleEndian.PutUint64(b[16:], m.Blocks)
+	binary.LittleEndian.PutUint32(b[24:], m.MaxQueues)
+	binary.LittleEndian.PutUint32(b[28:], m.DSTRD)
+	s := m.Serial
+	if len(s) > 20 {
+		s = s[:20]
+	}
+	copy(b[32:52], s)
+	return b
+}
+
+func unmarshalMetadata(b []byte) (Metadata, error) {
+	if binary.LittleEndian.Uint32(b[0:]) != metaMagic {
+		return Metadata{}, fmt.Errorf("%w: bad magic %#x", ErrNotManaged, binary.LittleEndian.Uint32(b[0:]))
+	}
+	end := 32
+	for end < 52 && b[end] != 0 {
+		end++
+	}
+	return Metadata{
+		ManagerNode: binary.LittleEndian.Uint32(b[4:]),
+		DeviceID:    binary.LittleEndian.Uint32(b[8:]),
+		BlockShift:  binary.LittleEndian.Uint32(b[12:]),
+		Blocks:      binary.LittleEndian.Uint64(b[16:]),
+		MaxQueues:   binary.LittleEndian.Uint32(b[24:]),
+		DSTRD:       binary.LittleEndian.Uint32(b[28:]),
+		Serial:      string(b[32:end]),
+	}, nil
+}
+
+// readMetadata fetches and parses the metadata segment from the manager's
+// host — over the NTB for remote clients, straight from DRAM locally.
+func readMetadata(p *sim.Proc, node *sisci.Node, managerNode sisci.NodeID) (Metadata, error) {
+	buf := make([]byte, MetaSize)
+	if node.ID == managerNode {
+		seg, err := node.LocalSegment(MetaSegmentID)
+		if err != nil {
+			return Metadata{}, fmt.Errorf("%w: %v", ErrNotManaged, err)
+		}
+		if err := node.Host().Read(p, seg.Addr, buf); err != nil {
+			return Metadata{}, err
+		}
+		return unmarshalMetadata(buf)
+	}
+	rs, err := node.ConnectSegment(managerNode, MetaSegmentID)
+	if err != nil {
+		return Metadata{}, fmt.Errorf("%w: %v", ErrNotManaged, err)
+	}
+	addr, err := rs.Map()
+	if err != nil {
+		return Metadata{}, err
+	}
+	defer rs.Unmap()
+	if err := node.Host().Read(p, addr, buf); err != nil {
+		return Metadata{}, err
+	}
+	return unmarshalMetadata(buf)
+}

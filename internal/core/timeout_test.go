@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// TestIOTimeout stalls the medium beyond the driver's I/O timeout: the
+// request must fail with ErrIOTimeout, the late completion must be
+// discarded harmlessly, and subsequent I/O must work.
+func TestIOTimeout(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	flash := r.ctrl.Medium().(*nvme.FlashMedium)
+	r.start(t, func(p *sim.Proc) {
+		done := sim.NewEvent(r.c.K)
+		r.c.Go("client", func(cp *sim.Proc) {
+			defer done.Trigger(nil)
+			cl, err := core.NewClient(cp, "to", r.svc, r.c.Hosts[1].Node, r.mgr,
+				core.ClientParams{IOTimeoutNs: 2 * sim.Millisecond})
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			buf := make([]byte, 4096)
+			// Healthy I/O first.
+			if err := cl.ReadBlocks(cp, 0, 8, buf); err != nil {
+				t.Errorf("healthy read: %v", err)
+				return
+			}
+			// Stall the next medium access for 5 virtual ms (> 2 ms timeout).
+			flash.InjectStall(5 * sim.Millisecond)
+			if err := cl.ReadBlocks(cp, 8, 8, buf); !errors.Is(err, core.ErrIOTimeout) {
+				t.Errorf("stalled read: %v, want ErrIOTimeout", err)
+				return
+			}
+			// Give the stalled command time to complete in the background;
+			// its orphaned completion must not disturb anything.
+			cp.Sleep(10 * sim.Millisecond)
+			if err := cl.ReadBlocks(cp, 16, 8, buf); err != nil {
+				t.Errorf("read after timeout: %v", err)
+			}
+		})
+		p.Wait(done)
+	})
+}

@@ -1,0 +1,110 @@
+package hostdriver_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/hostdriver"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+func TestCompareBlocks(t *testing.T) {
+	r := newRig(t)
+	r.withDriver(t, hostdriver.Params{}, func(p *sim.Proc, d *hostdriver.Driver) {
+		data := bytes.Repeat([]byte{0x6A}, 4096)
+		if err := d.WriteBlocks(p, 32, 8, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Matching compare succeeds.
+		if err := d.CompareBlocks(p, 32, 8, data); err != nil {
+			t.Fatalf("compare(match): %v", err)
+		}
+		// Mismatch surfaces the Compare Failure status.
+		bad := bytes.Repeat([]byte{0x6B}, 4096)
+		err := d.CompareBlocks(p, 32, 8, bad)
+		var se *hostdriver.StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("compare(mismatch): %v, want StatusError", err)
+		}
+		if sct, sc := se.Code(); sct != nvme.SCTMediaError || sc != nvme.SCCompareFailure {
+			t.Fatalf("status (%d,%#x), want media/compare-failure", sct, sc)
+		}
+	})
+}
+
+func TestCompareBadBuffer(t *testing.T) {
+	r := newRig(t)
+	r.withDriver(t, hostdriver.Params{}, func(p *sim.Proc, d *hostdriver.Driver) {
+		if err := d.CompareBlocks(p, 0, 8, make([]byte, 7)); err == nil {
+			t.Fatal("short buffer accepted")
+		}
+	})
+}
+
+func TestDriverDiscardAndWriteZeroesDirect(t *testing.T) {
+	r := newRig(t)
+	r.withDriver(t, hostdriver.Params{}, func(p *sim.Proc, d *hostdriver.Driver) {
+		data := bytes.Repeat([]byte{0xEE}, 4096)
+		if err := d.WriteBlocks(p, 0, 8, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DiscardBlocks(p, 0, 8); err != nil {
+			t.Fatalf("discard: %v", err)
+		}
+		got := make([]byte, 4096)
+		if err := d.ReadBlocks(p, 0, 8, got); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != 0 {
+				t.Fatalf("byte %d = %#x after discard", i, b)
+			}
+		}
+		if err := d.WriteBlocks(p, 8, 8, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WriteZeroesBlocks(p, 8, 8); err != nil {
+			t.Fatalf("write-zeroes: %v", err)
+		}
+		if err := d.ReadBlocks(p, 8, 8, got); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != 0 {
+				t.Fatalf("byte %d = %#x after write-zeroes", i, b)
+			}
+		}
+	})
+}
+
+func TestDriverSMART(t *testing.T) {
+	r := newRig(t)
+	r.withDriver(t, hostdriver.Params{}, func(p *sim.Proc, d *hostdriver.Driver) {
+		buf := make([]byte, 4096)
+		if err := d.WriteBlocks(p, 0, 8, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadBlocks(p, 0, 8, buf); err != nil {
+			t.Fatal(err)
+		}
+		smart, err := d.SMART(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.HostReadCmds != 1 || smart.HostWriteCmds != 1 {
+			t.Fatalf("smart counters %+v", smart)
+		}
+	})
+}
+
+func TestDriverONCSAdvertised(t *testing.T) {
+	r := newRig(t)
+	r.withDriver(t, hostdriver.Params{}, func(p *sim.Proc, d *hostdriver.Driver) {
+		id := d.Identify()
+		if !id.SupportsCompare() || !id.SupportsWriteZeroes() || !id.SupportsDSM() {
+			t.Fatalf("controller does not advertise optional commands: ONCS=%#x", id.ONCS)
+		}
+	})
+}

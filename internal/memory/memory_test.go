@@ -1,0 +1,275 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(0x1000, 4096)
+	want := []byte("hello nvme")
+	if err := m.Write(0x1010, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := m.Read(0x1010, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	m := New(0x1000, 64)
+	if err := m.Write(0xfff, []byte{1}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("below-base write: %v", err)
+	}
+	if err := m.Write(0x1000+63, []byte{1, 2}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("past-end write: %v", err)
+	}
+	if err := m.Read(0x2000, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("past-end read: %v", err)
+	}
+}
+
+func TestContainsWrapAround(t *testing.T) {
+	m := New(0, 64)
+	if m.Contains(^uint64(0)-1, 4) {
+		t.Fatal("wraparound range reported as contained")
+	}
+}
+
+func TestSliceAliasesMemory(t *testing.T) {
+	m := New(0, 128)
+	s, err := m.Slice(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[0] = 0xAB
+	got := make([]byte, 1)
+	if err := m.Read(16, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatal("Slice does not alias memory")
+	}
+}
+
+func TestSliceCapacityBounded(t *testing.T) {
+	m := New(0, 128)
+	s, _ := m.Slice(0, 8)
+	if cap(s) != 8 {
+		t.Fatalf("cap=%d, want 8 (full-slice expression)", cap(s))
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(0x100, 1<<16)
+	for _, align := range []uint64{1, 2, 64, 4096} {
+		a, err := m.Alloc(100, align)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a%align != 0 {
+			t.Fatalf("addr %#x not aligned to %d", a, align)
+		}
+	}
+}
+
+func TestAllocBadAlign(t *testing.T) {
+	m := New(0, 4096)
+	if _, err := m.Alloc(8, 3); !errors.Is(err, ErrBadAlign) {
+		t.Fatalf("got %v, want ErrBadAlign", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(0, 256)
+	if _, err := m.Alloc(300, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("got %v, want ErrNoSpace", err)
+	}
+	a, err := m.Alloc(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(1, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("got %v, want ErrNoSpace after full alloc", err)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(256, 1); err != nil {
+		t.Fatalf("realloc after free failed: %v", err)
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	m := New(0, 1024)
+	a1, _ := m.Alloc(256, 1)
+	a2, _ := m.Alloc(256, 1)
+	a3, _ := m.Alloc(512, 1)
+	if err := m.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a2); err != nil {
+		t.Fatal(err)
+	}
+	// Everything free again: a single 1024-byte allocation must fit.
+	if _, err := m.Alloc(1024, 1); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	m := New(0, 128)
+	a, _ := m.Alloc(8, 1)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: %v, want ErrBadFree", err)
+	}
+}
+
+func TestAllocZeroSizeBecomesOne(t *testing.T) {
+	m := New(0, 16)
+	a, err := m.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two zero-size allocations share an address")
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	m := New(0, 64)
+	a, _ := m.Alloc(32, 1)
+	s, _ := m.Slice(a, 32)
+	for i := range s {
+		s[i] = 0xFF
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocZeroed(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := m.Slice(b, 32)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x after AllocZeroed", i, v)
+		}
+	}
+}
+
+func TestFreeBytesAccounting(t *testing.T) {
+	m := New(0, 1000)
+	if m.FreeBytes() != 1000 {
+		t.Fatalf("initial free %d", m.FreeBytes())
+	}
+	a, _ := m.Alloc(100, 1)
+	if m.FreeBytes() != 900 {
+		t.Fatalf("after alloc free %d", m.FreeBytes())
+	}
+	m.Free(a)
+	if m.FreeBytes() != 1000 {
+		t.Fatalf("after free %d", m.FreeBytes())
+	}
+}
+
+// Property: distinct live allocations never overlap.
+func TestPropAllocationsDisjoint(t *testing.T) {
+	type span struct{ start, end uint64 }
+	f := func(sizes []uint16) bool {
+		m := New(0x10000, 1<<20)
+		var spans []span
+		for _, sz := range sizes {
+			size := uint64(sz%2048) + 1
+			a, err := m.Alloc(size, 8)
+			if err != nil {
+				break
+			}
+			spans = append(spans, span{a, a + size})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].start < spans[j].end && spans[j].start < spans[i].end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: alloc/free of everything restores the full free byte count and
+// a maximal allocation succeeds (no fragmentation leaks).
+func TestPropFreeRestoresCapacity(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		const total = 1 << 18
+		m := New(0, total)
+		var addrs []uint64
+		for _, sz := range sizes {
+			size := uint64(sz%4096) + 1
+			a, err := m.Alloc(size, 1)
+			if err != nil {
+				break
+			}
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if m.Free(a) != nil {
+				return false
+			}
+		}
+		if m.FreeBytes() != total {
+			return false
+		}
+		_, err := m.Alloc(total, 1)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: writes land exactly where addressed — a write at addr of n bytes
+// modifies only [addr, addr+n).
+func TestPropWriteLocality(t *testing.T) {
+	f := func(off uint8, val byte) bool {
+		m := New(0, 512)
+		addr := uint64(off) + 100 // stay inside with margin
+		if err := m.Write(addr, []byte{val}); err != nil {
+			return false
+		}
+		whole, _ := m.Slice(0, 512)
+		for i, b := range whole {
+			if uint64(i) == addr {
+				if b != val {
+					return false
+				}
+			} else if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package ntb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pcie"
+)
+
+// ClusterAdapter models an NTB host adapter plugged into a cluster switch
+// (the paper's MXH932 adapter + MXS924 switch): a single BAR whose LUT
+// windows may target *different* remote hosts. Each window maps a BAR
+// range to (remote domain, remote address); the cluster switch routes by
+// window.
+//
+// Topologically the adapter's own switch chip belongs to the host's
+// domain (add it as a pcie.Switch node); CrossNs covers the cluster
+// switch traversal plus LUT translation.
+type ClusterAdapter struct {
+	Name          string
+	CrossNs       int64
+	MaxWindows    int
+	ProgramCostNs int64
+
+	local *pcie.Domain
+	node  pcie.NodeID
+	bar   pcie.Range
+	wins  []clusterWindow
+}
+
+type clusterWindow struct {
+	off    uint64
+	size   uint64
+	remote *pcie.Domain
+	entry  pcie.NodeID
+	rbase  pcie.Addr
+}
+
+// AdapterConfig describes a ClusterAdapter attachment.
+type AdapterConfig struct {
+	Name  string
+	Local *pcie.Domain
+	// Node is the adapter's NTB endpoint node in the local domain.
+	Node pcie.NodeID
+	BAR  pcie.Range
+	// CrossNs, MaxWindows, ProgramCostNs override defaults when nonzero.
+	CrossNs       int64
+	MaxWindows    int
+	ProgramCostNs int64
+}
+
+// NewClusterAdapter creates the adapter and claims its BAR.
+func NewClusterAdapter(cfg AdapterConfig) (*ClusterAdapter, error) {
+	a := &ClusterAdapter{
+		Name:          cfg.Name,
+		CrossNs:       cfg.CrossNs,
+		MaxWindows:    cfg.MaxWindows,
+		ProgramCostNs: cfg.ProgramCostNs,
+		local:         cfg.Local,
+		node:          cfg.Node,
+		bar:           cfg.BAR,
+	}
+	if a.MaxWindows == 0 {
+		a.MaxWindows = DefaultMaxWindows
+	}
+	if a.ProgramCostNs == 0 {
+		a.ProgramCostNs = DefaultProgramCostNs
+	}
+	if err := cfg.Local.Claim(cfg.BAR, cfg.Node, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// BAR returns the adapter's claimed range.
+func (a *ClusterAdapter) BAR() pcie.Range { return a.bar }
+
+// Node returns the adapter's endpoint node in the local domain.
+func (a *ClusterAdapter) Node() pcie.NodeID { return a.node }
+
+// Windows returns the number of programmed LUT entries.
+func (a *ClusterAdapter) Windows() int { return len(a.wins) }
+
+// Map programs a window at BAR offset off covering size bytes, targeting
+// raddr in remote, entering that domain at entry. It returns the local
+// address of the window.
+func (a *ClusterAdapter) Map(off, size uint64, remote *pcie.Domain, entry pcie.NodeID, raddr pcie.Addr) (pcie.Addr, error) {
+	if size == 0 || off+size < off || off+size > a.bar.Size {
+		return 0, fmt.Errorf("%w: off=%#x size=%#x bar=%#x", ErrBadWindow, off, size, a.bar.Size)
+	}
+	if len(a.wins) >= a.MaxWindows {
+		return 0, fmt.Errorf("%w: %d entries", ErrLUTFull, a.MaxWindows)
+	}
+	for _, w := range a.wins {
+		if off < w.off+w.size && w.off < off+size {
+			return 0, fmt.Errorf("%w: [%#x,+%#x)", ErrWindowInUse, off, size)
+		}
+	}
+	a.wins = append(a.wins, clusterWindow{off: off, size: size, remote: remote, entry: entry, rbase: raddr})
+	sort.Slice(a.wins, func(i, j int) bool { return a.wins[i].off < a.wins[j].off })
+	return a.bar.Base + off, nil
+}
+
+// MapAuto places a window at the lowest free, align-aligned offset.
+func (a *ClusterAdapter) MapAuto(size, align uint64, remote *pcie.Domain, entry pcie.NodeID, raddr pcie.Addr) (pcie.Addr, error) {
+	off, err := a.freeOffset(size, align)
+	if err != nil {
+		return 0, err
+	}
+	return a.Map(off, size, remote, entry, raddr)
+}
+
+// Unmap removes the window starting at BAR offset off.
+func (a *ClusterAdapter) Unmap(off uint64) error {
+	for i, w := range a.wins {
+		if w.off == off {
+			a.wins = append(a.wins[:i], a.wins[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %#x", ErrNotMapped, off)
+}
+
+// UnmapAddr removes the window whose local address is addr.
+func (a *ClusterAdapter) UnmapAddr(addr pcie.Addr) error {
+	return a.Unmap(addr - a.bar.Base)
+}
+
+func (a *ClusterAdapter) freeOffset(size, align uint64) (uint64, error) {
+	if align == 0 {
+		align = 1
+	}
+	cand := uint64(0)
+	for {
+		cand = (cand + align - 1) &^ (align - 1)
+		if cand+size > a.bar.Size {
+			return 0, fmt.Errorf("%w: no room for %#x bytes", ErrBadWindow, size)
+		}
+		conflict := false
+		for _, w := range a.wins {
+			if cand < w.off+w.size && w.off < cand+size {
+				cand = w.off + w.size
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return cand, nil
+		}
+	}
+}
+
+// Forward implements pcie.Forwarder.
+func (a *ClusterAdapter) Forward(addr pcie.Addr) (*pcie.Domain, pcie.NodeID, pcie.Addr, int64, error) {
+	off := addr - a.bar.Base
+	for _, w := range a.wins {
+		if off >= w.off && off < w.off+w.size {
+			return w.remote, w.entry, w.rbase + (off - w.off), a.CrossNs, nil
+		}
+	}
+	return nil, 0, 0, 0, fmt.Errorf("%w: %s offset %#x", ErrNoTranslation, a.Name, off)
+}
+
+// TargetWrite implements pcie.Target; never reached when routing is correct.
+func (a *ClusterAdapter) TargetWrite(addr pcie.Addr, data []byte) {
+	panic("ntb: untranslated write reached adapter " + a.Name)
+}
+
+// TargetRead implements pcie.Target; see TargetWrite.
+func (a *ClusterAdapter) TargetRead(addr pcie.Addr, buf []byte) {
+	panic("ntb: untranslated read reached adapter " + a.Name)
+}

@@ -1,0 +1,79 @@
+package nvme
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// TestEnableTimeout uses a controller whose enable transition exceeds
+// CAP.TO: the admin client must give up with ErrTimeout rather than spin
+// forever.
+func TestEnableTimeout(t *testing.T) {
+	k := sim.NewKernel()
+	dom := pcie.NewDomain("h", k, pcie.LinkParams{})
+	rc := dom.AddNode(pcie.RootComplex, "rc")
+	ep := dom.AddNode(pcie.Endpoint, "nvme")
+	if err := dom.Connect(rc, ep); err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.New(0x100000, 8<<20)
+	host, err := pcie.NewHostPort(dom, rc, mem, pcie.CPUParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := NewFlashMedium(k, 512, 1<<20, FlashParams{}, 1)
+	// CAP.TO is 10 s; a 20 s enable delay must trip the timeout.
+	_, err = New("slow", dom, ep, pcie.Range{Base: rigBARBase, Size: rigBARSize}, med,
+		Params{EnableDelayNs: 20 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	k.Spawn("drv", func(p *sim.Proc) {
+		a := NewAdminClient(host, rigBARBase)
+		got = a.Enable(p, 16)
+	})
+	k.RunAll()
+	k.Shutdown()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", got)
+	}
+}
+
+// TestAdminExecBeforeEnable must fail cleanly, not crash.
+func TestAdminExecBeforeEnable(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := NewAdminClient(r.host, rigBARBase)
+		cmd := SQE{Opcode: AdminIdentify, CDW10: CNSController}
+		if _, err := a.Exec(p, &cmd); err == nil {
+			t.Error("Exec on uninitialized admin queue succeeded")
+		}
+	})
+}
+
+// TestEnableClampsDepth: requested admin depth beyond CAP.MQES is clamped
+// rather than rejected.
+func TestEnableClampsDepth(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := NewAdminClient(r.host, rigBARBase)
+		if err := a.Enable(p, 1<<20); err != nil {
+			t.Fatalf("huge depth: %v", err)
+		}
+		if a.Admin.Size != int(a.MQES)+1 {
+			t.Fatalf("depth %d, want clamped to %d", a.Admin.Size, a.MQES+1)
+		}
+		// And a tiny depth is raised to the minimum of 2.
+		if err := a.Enable(p, 1); err != nil {
+			t.Fatalf("tiny depth: %v", err)
+		}
+		if a.Admin.Size != 2 {
+			t.Fatalf("depth %d, want 2", a.Admin.Size)
+		}
+	})
+}

@@ -1,0 +1,566 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// Params configures a controller.
+type Params struct {
+	// MaxQueuePairs counts the admin pair plus I/O pairs. The paper's
+	// P4800X supports 32 (31 I/O pairs + admin), letting 31 hosts share
+	// the device.
+	MaxQueuePairs int
+	// MQES is CAP.MQES: maximum queue entries, 0-based.
+	MQES uint16
+	// CmdOverheadNs is firmware decode/setup per command.
+	CmdOverheadNs int64
+	// CplOverheadNs is firmware completion-path cost per command.
+	CplOverheadNs int64
+	// EnableDelayNs is the CC.EN -> CSTS.RDY transition time.
+	EnableDelayNs int64
+	// MaxInflight bounds concurrently executing commands.
+	MaxInflight int
+	// DSTRD is CAP.DSTRD (doorbell stride exponent).
+	DSTRD uint8
+	// CMBBytes sizes the Controller Memory Buffer exposed at CMBBase in
+	// BAR0 (0 disables it). The BAR must be large enough to cover it.
+	CMBBytes uint64
+	// CMBAccessNs is the controller's internal access time to CMB memory
+	// (SRAM-class; replaces a fabric DMA round trip for queues placed
+	// there).
+	CMBAccessNs int64
+}
+
+// DefaultParams returns the P4800X-class controller calibration.
+func DefaultParams() Params {
+	return Params{
+		MaxQueuePairs: 32,
+		MQES:          1023,
+		CmdOverheadNs: 350,
+		CplOverheadNs: 150,
+		EnableDelayNs: 50_000,
+		MaxInflight:   64,
+		DSTRD:         0,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.MaxQueuePairs == 0 {
+		p.MaxQueuePairs = d.MaxQueuePairs
+	}
+	if p.MQES == 0 {
+		p.MQES = d.MQES
+	}
+	if p.CmdOverheadNs == 0 {
+		p.CmdOverheadNs = d.CmdOverheadNs
+	}
+	if p.CplOverheadNs == 0 {
+		p.CplOverheadNs = d.CplOverheadNs
+	}
+	if p.EnableDelayNs == 0 {
+		p.EnableDelayNs = d.EnableDelayNs
+	}
+	if p.MaxInflight == 0 {
+		p.MaxInflight = d.MaxInflight
+	}
+	if p.CMBAccessNs == 0 {
+		p.CMBAccessNs = 60
+	}
+	return p
+}
+
+// MSIEntry is a configured MSI-X vector: an interrupt is a posted write of
+// Data to Addr in the controller's domain.
+type MSIEntry struct {
+	Addr    pcie.Addr
+	Data    uint32
+	Enabled bool
+}
+
+type subQueue struct {
+	id      uint16
+	base    pcie.Addr
+	size    int
+	head    int
+	tail    int
+	cqid    uint16
+	created bool
+}
+
+type compQueue struct {
+	id      uint16
+	base    pcie.Addr
+	size    int
+	tail    int
+	phase   bool
+	head    int
+	ien     bool
+	iv      uint16
+	created bool
+	sqCount int // SQs mapped to this CQ
+}
+
+// Stats are controller counters exposed for tests and tools.
+type Stats struct {
+	AdminCmds   uint64
+	ReadCmds    uint64
+	WriteCmds   uint64
+	FlushCmds   uint64
+	ErrorCmds   uint64
+	MediaErrs   uint64
+	Fetches     uint64
+	Completions uint64
+	Interrupts  uint64
+}
+
+// Controller is a simulated single-function NVMe controller. Create it
+// with New, attach its BAR to a fabric domain, then drive it exactly as a
+// driver drives hardware: write registers, ring doorbells, poll CQs.
+type Controller struct {
+	name   string
+	kernel *sim.Kernel
+	dom    *pcie.Domain
+	node   pcie.NodeID
+	bar    pcie.Range
+	med    Medium
+	params Params
+
+	cc   uint32
+	csts uint32
+	aqa  uint32
+	asq  uint64
+	acq  uint64
+
+	sqs []*subQueue
+	cqs []*compQueue
+
+	doorbell  *sim.Signal
+	cqSpace   *sim.Signal
+	enableSig *sim.Signal
+	inflight  *sim.Semaphore
+
+	msi []MSIEntry
+
+	// cmb backs the Controller Memory Buffer (nil when disabled).
+	cmb []byte
+	// vwc is the volatile-write-cache feature state (always reported; the
+	// Optane-class medium itself is cacheless, so it is a no-op switch).
+	vwc bool
+
+	ident IdentifyController
+
+	// Stats is exported state for observability; not part of the device
+	// model.
+	Stats Stats
+}
+
+// New creates a controller attached at node in dom, claiming bar for its
+// register file, executing against med.
+func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Medium, params Params) (*Controller, error) {
+	p := params.withDefaults()
+	c := &Controller{
+		name:   name,
+		kernel: dom.Kernel(),
+		dom:    dom,
+		node:   node,
+		bar:    bar,
+		med:    med,
+		params: p,
+		sqs:    make([]*subQueue, p.MaxQueuePairs),
+		cqs:    make([]*compQueue, p.MaxQueuePairs),
+		msi:    make([]MSIEntry, p.MaxQueuePairs),
+		ident: IdentifyController{
+			VID:      0x8086,
+			SSVID:    0x8086,
+			Serial:   "SIMP4800X0001",
+			Model:    "Simulated Optane P4800X",
+			Firmware: "E2010600",
+			OACS:     OACSGetLogPage,
+			ONCS:     ONCSCompare | ONCSWriteZeroes | ONCSDSM,
+			NN:       1,
+		},
+	}
+	c.doorbell = sim.NewSignal(c.kernel)
+	c.cqSpace = sim.NewSignal(c.kernel)
+	c.enableSig = sim.NewSignal(c.kernel)
+	c.inflight = sim.NewSemaphore(c.kernel, p.MaxInflight)
+	if p.CMBBytes > 0 {
+		if CMBBase+p.CMBBytes > bar.Size {
+			return nil, fmt.Errorf("nvme: CMB of %d bytes does not fit BAR of %#x", p.CMBBytes, bar.Size)
+		}
+		c.cmb = make([]byte, p.CMBBytes)
+	}
+	if err := dom.Claim(bar, node, c); err != nil {
+		return nil, err
+	}
+	c.kernel.Spawn(name+"/ctrl", c.run)
+	return c, nil
+}
+
+// BAR returns the controller's register range.
+func (c *Controller) BAR() pcie.Range { return c.bar }
+
+// Node returns the controller's fabric node.
+func (c *Controller) Node() pcie.NodeID { return c.node }
+
+// Domain returns the domain the controller lives in.
+func (c *Controller) Domain() *pcie.Domain { return c.dom }
+
+// Params returns the controller configuration.
+func (c *Controller) Params() Params { return c.params }
+
+// Medium returns the backing medium.
+func (c *Controller) Medium() Medium { return c.med }
+
+// SetMSIVector programs MSI-X vector iv to post data to addr. It is a
+// convenience equivalent to writing the vector's MSI-X table entry
+// through the BAR.
+func (c *Controller) SetMSIVector(iv uint16, addr pcie.Addr, data uint32) error {
+	if int(iv) >= len(c.msi) {
+		return fmt.Errorf("nvme: MSI vector %d out of range", iv)
+	}
+	c.msi[iv] = MSIEntry{Addr: addr, Data: data, Enabled: true}
+	return nil
+}
+
+// msixWrite handles a write into the MSI-X vector table. Partial-entry
+// writes are applied field-wise, as hardware does.
+func (c *Controller) msixWrite(off uint64, data []byte) {
+	iv := int(off / MSIXEntrySize)
+	if iv >= len(c.msi) {
+		return
+	}
+	field := off % MSIXEntrySize
+	e := &c.msi[iv]
+	for i, b := range data {
+		pos := field + uint64(i)
+		switch {
+		case pos < 8:
+			shift := 8 * pos
+			e.Addr = e.Addr&^(0xFF<<shift) | pcie.Addr(b)<<shift
+		case pos < 12:
+			shift := 8 * (pos - 8)
+			e.Data = e.Data&^(0xFF<<shift) | uint32(b)<<shift
+		case pos == 12:
+			// Control: bit 0 masks the vector.
+			e.Enabled = b&1 == 0 && e.Addr != 0
+		}
+	}
+	if field < 12 && e.Addr != 0 {
+		e.Enabled = true
+	}
+}
+
+// Ready reports CSTS.RDY.
+func (c *Controller) Ready() bool { return c.csts&CSTSReady != 0 }
+
+// Fatal reports CSTS.CFS.
+func (c *Controller) Fatal() bool { return c.csts&CSTSCFS != 0 }
+
+// cap builds the CAP register value.
+func (c *Controller) capReg() uint64 {
+	v := uint64(c.params.MQES)        // MQES
+	v |= uint64(20) << 24             // TO: 10 s in 500 ms units
+	v |= uint64(c.params.DSTRD) << 32 // DSTRD
+	v |= uint64(1) << 37              // CSS: NVM command set
+	return v
+}
+
+// TargetRead implements pcie.Target: register reads.
+func (c *Controller) TargetRead(addr pcie.Addr, buf []byte) {
+	off := addr - c.bar.Base
+	if off >= CMBBase {
+		if c.cmb != nil && off-CMBBase+uint64(len(buf)) <= uint64(len(c.cmb)) {
+			copy(buf, c.cmb[off-CMBBase:])
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		return
+	}
+	var v uint64
+	switch {
+	case off >= RegCAP && off < RegCAP+8:
+		v = c.capReg() >> (8 * (off - RegCAP))
+	case off >= RegVS && off < RegVS+4:
+		v = uint64(Version) >> (8 * (off - RegVS))
+	case off >= RegCC && off < RegCC+4:
+		v = uint64(c.cc) >> (8 * (off - RegCC))
+	case off >= RegCSTS && off < RegCSTS+4:
+		v = uint64(c.csts) >> (8 * (off - RegCSTS))
+	case off >= RegAQA && off < RegAQA+4:
+		v = uint64(c.aqa) >> (8 * (off - RegAQA))
+	case off >= RegASQ && off < RegASQ+8:
+		v = c.asq >> (8 * (off - RegASQ))
+	case off >= RegACQ && off < RegACQ+8:
+		v = c.acq >> (8 * (off - RegACQ))
+	case off >= RegCMBLOC && off < RegCMBLOC+4:
+		if c.cmb != nil {
+			v = uint64(CMBBase) >> (8 * (off - RegCMBLOC))
+		}
+	case off >= RegCMBSZ && off < RegCMBSZ+4:
+		v = uint64(len(c.cmb)) >> (8 * (off - RegCMBSZ))
+	default:
+		v = 0 // doorbells and reserved read as zero
+	}
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+}
+
+// TargetWrite implements pcie.Target: register, doorbell and MSI-X table
+// writes. It runs inline in the event kernel at delivery time and must
+// not block.
+func (c *Controller) TargetWrite(addr pcie.Addr, data []byte) {
+	off := addr - c.bar.Base
+	if off >= CMBBase {
+		if c.cmb != nil && off-CMBBase+uint64(len(data)) <= uint64(len(c.cmb)) {
+			copy(c.cmb[off-CMBBase:], data)
+		}
+		return
+	}
+	if off >= MSIXTableBase {
+		c.msixWrite(off-MSIXTableBase, data)
+		return
+	}
+	if off >= DoorbellBase {
+		c.doorbellWrite(off, data)
+		return
+	}
+	var v uint64
+	for i := 0; i < len(data) && i < 8; i++ {
+		v |= uint64(data[i]) << (8 * i)
+	}
+	switch off {
+	case RegCC:
+		c.writeCC(uint32(v))
+	case RegAQA:
+		c.aqa = uint32(v)
+	case RegASQ:
+		c.asq = v
+	case RegACQ:
+		c.acq = v
+	case RegINTMS, RegINTMC:
+		// Interrupt masking not modeled; MSI vectors are per-CQ.
+	default:
+		// Writes to RO/reserved registers are ignored, as hardware does.
+	}
+}
+
+func (c *Controller) writeCC(v uint32) {
+	was := c.cc&CCEnable != 0
+	c.cc = v
+	now := v&CCEnable != 0
+	switch {
+	case now && !was:
+		c.kernel.After(c.params.EnableDelayNs, c.enable)
+	case !now && was:
+		c.reset()
+	}
+}
+
+// enable brings the controller ready: admin queues are created from
+// AQA/ASQ/ACQ and CSTS.RDY is set.
+func (c *Controller) enable() {
+	asqs := int(c.aqa&0xFFF) + 1
+	acqs := int(c.aqa>>16&0xFFF) + 1
+	c.sqs[0] = &subQueue{id: 0, base: c.asq, size: asqs, cqid: 0, created: true}
+	c.cqs[0] = &compQueue{id: 0, base: c.acq, size: acqs, phase: true, ien: true, iv: 0, created: true, sqCount: 1}
+	c.csts |= CSTSReady
+	c.enableSig.Set()
+}
+
+// reset clears controller state (CC.EN falling edge).
+func (c *Controller) reset() {
+	c.csts &^= CSTSReady | CSTSCFS
+	for i := range c.sqs {
+		c.sqs[i] = nil
+		c.cqs[i] = nil
+	}
+}
+
+func (c *Controller) doorbellWrite(off uint64, data []byte) {
+	if len(data) < 4 {
+		return
+	}
+	stride := uint64(4) << c.params.DSTRD
+	idx := (off - DoorbellBase) / stride
+	if (off-DoorbellBase)%stride != 0 {
+		return
+	}
+	qid := int(idx / 2)
+	val := int(binary.LittleEndian.Uint32(data))
+	if qid >= c.params.MaxQueuePairs {
+		return
+	}
+	if idx%2 == 0 {
+		sq := c.sqs[qid]
+		if sq == nil || !sq.created || val < 0 || val >= sq.size {
+			c.csts |= CSTSCFS
+			return
+		}
+		sq.tail = val
+		c.doorbell.Set()
+	} else {
+		cq := c.cqs[qid]
+		if cq == nil || !cq.created || val < 0 || val >= cq.size {
+			c.csts |= CSTSCFS
+			return
+		}
+		cq.head = val
+		c.cqSpace.Set()
+	}
+}
+
+// run is the controller's main arbitration loop: round-robin across
+// submission queues with pending entries, dispatching one command per
+// queue per pass.
+func (c *Controller) run(p *sim.Proc) {
+	rr := 0
+	for {
+		if c.csts&CSTSReady == 0 {
+			p.WaitSignal(c.enableSig)
+			continue
+		}
+		progressed := false
+		n := len(c.sqs)
+		for i := 0; i < n; i++ {
+			sq := c.sqs[(rr+i)%n]
+			if sq == nil || !sq.created || sq.head == sq.tail {
+				continue
+			}
+			// Claim the slot now so the loop can move on; the worker
+			// fetches the entry itself (fetch latency depends on where
+			// the SQ memory lives — the Fig. 8 effect).
+			slot := sq.head
+			sq.head = (sq.head + 1) % sq.size
+			p.Acquire(c.inflight)
+			q := sq
+			c.kernel.Spawn(fmt.Sprintf("%s/cmd-q%d-s%d", c.name, q.id, slot), func(wp *sim.Proc) {
+				defer c.inflight.Release()
+				c.execute(wp, q, slot)
+			})
+			progressed = true
+		}
+		rr = (rr + 1) % n
+		if !progressed {
+			// No yields happen between the (empty) scan and this wait,
+			// so a doorbell cannot slip by unseen.
+			p.WaitSignal(c.doorbell)
+		}
+	}
+}
+
+// cmbAt returns the CMB backing slice for a device-domain address range,
+// or nil when the range is outside the CMB (or it is disabled).
+func (c *Controller) cmbAt(addr pcie.Addr, n int) []byte {
+	if c.cmb == nil {
+		return nil
+	}
+	base := c.bar.Base + CMBBase
+	if addr < base || addr+pcie.Addr(n) > base+pcie.Addr(len(c.cmb)) {
+		return nil
+	}
+	off := addr - base
+	return c.cmb[off : off+pcie.Addr(n)]
+}
+
+// dmaRead fetches n bytes for the controller: internal CMB access when the
+// address falls inside the buffer, a fabric DMA read otherwise.
+func (c *Controller) dmaRead(p *sim.Proc, addr pcie.Addr, buf []byte) error {
+	if s := c.cmbAt(addr, len(buf)); s != nil {
+		p.Sleep(c.params.CMBAccessNs)
+		copy(buf, s)
+		return nil
+	}
+	return c.dom.MemRead(p, c.node, addr, buf)
+}
+
+// dmaWrite stores data for the controller: internal CMB access or a
+// posted fabric write.
+func (c *Controller) dmaWrite(p *sim.Proc, addr pcie.Addr, data []byte) error {
+	if s := c.cmbAt(addr, len(data)); s != nil {
+		p.Sleep(c.params.CMBAccessNs)
+		copy(s, data)
+		return nil
+	}
+	return c.dom.MemWrite(p, c.node, addr, data)
+}
+
+// execute fetches and runs the command in SQ slot, then posts a completion.
+func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
+	buf := make([]byte, SQESize)
+	if err := c.dmaRead(p, sq.base+pcie.Addr(slot*SQESize), buf); err != nil {
+		c.csts |= CSTSCFS
+		return
+	}
+	c.Stats.Fetches++
+	cmd := UnmarshalSQE(buf)
+	p.Sleep(c.params.CmdOverheadNs)
+
+	var status uint16
+	var dw0 uint32
+	if sq.id == 0 {
+		status, dw0 = c.execAdmin(p, &cmd)
+		c.Stats.AdminCmds++
+	} else {
+		status = c.execIO(p, &cmd)
+	}
+	if status != StatusOK {
+		c.Stats.ErrorCmds++
+	}
+	c.complete(p, sq, cmd.CID, dw0, status)
+}
+
+// complete posts a CQE to the SQ's paired CQ, waiting for space if the
+// host has not consumed earlier entries.
+func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32, status uint16) {
+	cq := c.cqs[sq.cqid]
+	if cq == nil || !cq.created {
+		c.csts |= CSTSCFS
+		return
+	}
+	for (cq.tail+1)%cq.size == cq.head {
+		p.WaitSignal(c.cqSpace)
+	}
+	idx := cq.tail
+	ph := cq.phase
+	cq.tail++
+	if cq.tail == cq.size {
+		cq.tail = 0
+		cq.phase = !cq.phase
+	}
+	cqe := CQE{DW0: dw0, SQHead: uint16(sq.head), SQID: sq.id, CID: cid}
+	cqe.StatusPhase = status << 1
+	if ph {
+		cqe.StatusPhase |= 1
+	}
+	p.Sleep(c.params.CplOverheadNs)
+	if err := c.dmaWrite(p, cq.base+pcie.Addr(idx*CQESize), cqe.Marshal()); err != nil {
+		c.csts |= CSTSCFS
+		return
+	}
+	c.Stats.Completions++
+	if cq.ien {
+		c.interrupt(p, cq.iv)
+	}
+}
+
+// interrupt delivers MSI vector iv as a posted write.
+func (c *Controller) interrupt(p *sim.Proc, iv uint16) {
+	if int(iv) >= len(c.msi) || !c.msi[iv].Enabled {
+		return
+	}
+	e := c.msi[iv]
+	var data [4]byte
+	binary.LittleEndian.PutUint32(data[:], e.Data)
+	if err := c.dom.MemWrite(p, c.node, e.Addr, data[:]); err == nil {
+		c.Stats.Interrupts++
+	}
+}

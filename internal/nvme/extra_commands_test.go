@@ -1,0 +1,172 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWriteZeroesDeallocates(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		buf, _ := r.host.Alloc(PageSize, PageSize)
+		s, _ := r.host.Slice(buf, PageSize)
+		for i := range s {
+			s[i] = 0xAA
+		}
+		// Write, zero, read back.
+		w := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf, CDW10: 50, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &w); !cqe.OK() {
+			t.Fatalf("write status %#x", cqe.Status())
+		}
+		wz := SQE{Opcode: IOWriteZeroes, NSID: 1, CDW10: 50, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &wz); !cqe.OK() {
+			t.Fatalf("write-zeroes status %#x", cqe.Status())
+		}
+		rd := SQE{Opcode: IORead, NSID: 1, PRP1: buf, CDW10: 50, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &rd); !cqe.OK() {
+			t.Fatalf("read status %#x", cqe.Status())
+		}
+		for i, b := range s {
+			if b != 0 {
+				t.Fatalf("byte %d = %#x after write-zeroes", i, b)
+			}
+		}
+	})
+	if r.med.WrittenBlocks() != 0 {
+		t.Fatalf("%d blocks still allocated", r.med.WrittenBlocks())
+	}
+}
+
+func TestWriteZeroesOutOfRange(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		wz := SQE{Opcode: IOWriteZeroes, NSID: 1, CDW10: 0xFFFFFFFF, CDW11: 0xFF, CDW12: 7}
+		cqe := execIO(t, p, r.host, q, &wz)
+		if sct, sc := cqe.StatusCode(); sct != SCTGeneric || sc != SCLBAOutOfRange {
+			t.Fatalf("status (%d,%#x)", sct, sc)
+		}
+	})
+}
+
+func TestCompareMatchAndMismatch(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		buf, _ := r.host.Alloc(PageSize, PageSize)
+		s, _ := r.host.Slice(buf, PageSize)
+		pattern := bytes.Repeat([]byte{0x3B}, PageSize)
+		copy(s, pattern)
+		w := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf, CDW10: 80, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &w); !cqe.OK() {
+			t.Fatalf("write status %#x", cqe.Status())
+		}
+		// Matching compare succeeds.
+		cp := SQE{Opcode: IOCompare, NSID: 1, PRP1: buf, CDW10: 80, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &cp); !cqe.OK() {
+			t.Fatalf("compare(match) status %#x", cqe.Status())
+		}
+		// Corrupt one byte: compare fails with Compare Failure.
+		s[100] ^= 0xFF
+		cqe := execIO(t, p, r.host, q, &cp)
+		if sct, sc := cqe.StatusCode(); sct != SCTMediaError || sc != SCCompareFailure {
+			t.Fatalf("compare(mismatch) status (%d,%#x)", sct, sc)
+		}
+	})
+}
+
+func TestDSMDeallocateRanges(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		data, _ := r.host.Alloc(PageSize, PageSize)
+		// Fill blocks 0..15 and 100..107.
+		w1 := SQE{Opcode: IOWrite, NSID: 1, PRP1: data, CDW10: 0, CDW12: 7}
+		w2 := SQE{Opcode: IOWrite, NSID: 1, PRP1: data, CDW10: 8, CDW12: 7}
+		w3 := SQE{Opcode: IOWrite, NSID: 1, PRP1: data, CDW10: 100, CDW12: 7}
+		s, _ := r.host.Slice(data, PageSize)
+		for i := range s {
+			s[i] = 1
+		}
+		for _, cmd := range []*SQE{&w1, &w2, &w3} {
+			if cqe := execIO(t, p, r.host, q, cmd); !cqe.OK() {
+				t.Fatalf("setup write status %#x", cqe.Status())
+			}
+		}
+		if r.med.WrittenBlocks() != 24 {
+			t.Fatalf("setup blocks %d, want 24", r.med.WrittenBlocks())
+		}
+		// DSM with two ranges: [0,16) and [100,108).
+		listAddr, _ := r.host.Alloc(PageSize, PageSize)
+		list, _ := r.host.Slice(listAddr, 2*DSMRangeSize)
+		putLE32(list[4:], 16)
+		putLE64(list[8:], 0)
+		putLE32(list[DSMRangeSize+4:], 8)
+		putLE64(list[DSMRangeSize+8:], 100)
+		dsm := SQE{Opcode: IODSM, NSID: 1, PRP1: listAddr,
+			CDW10: 1 /* NR=2 (0-based) */, CDW11: DSMAttrDeallocate}
+		if cqe := execIO(t, p, r.host, q, &dsm); !cqe.OK() {
+			t.Fatalf("dsm status %#x", cqe.Status())
+		}
+	})
+	if r.med.WrittenBlocks() != 0 {
+		t.Fatalf("%d blocks left after DSM", r.med.WrittenBlocks())
+	}
+	if r.med.Trims != 2 {
+		t.Fatalf("trims %d, want 2", r.med.Trims)
+	}
+}
+
+func TestDSMWithoutDeallocateIsNoop(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		data, _ := r.host.Alloc(PageSize, PageSize)
+		w := SQE{Opcode: IOWrite, NSID: 1, PRP1: data, CDW10: 0, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &w); !cqe.OK() {
+			t.Fatal("write failed")
+		}
+		listAddr, _ := r.host.Alloc(PageSize, PageSize)
+		list, _ := r.host.Slice(listAddr, DSMRangeSize)
+		putLE32(list[4:], 8)
+		putLE64(list[8:], 0)
+		dsm := SQE{Opcode: IODSM, NSID: 1, PRP1: listAddr, CDW10: 0, CDW11: 0}
+		if cqe := execIO(t, p, r.host, q, &dsm); !cqe.OK() {
+			t.Fatalf("dsm status %#x", cqe.Status())
+		}
+	})
+	if r.med.WrittenBlocks() != 8 {
+		t.Fatalf("hint-only DSM deallocated blocks: %d left", r.med.WrittenBlocks())
+	}
+}
+
+func TestDSMBadRange(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		listAddr, _ := r.host.Alloc(PageSize, PageSize)
+		list, _ := r.host.Slice(listAddr, DSMRangeSize)
+		putLE32(list[4:], 8)
+		putLE64(list[8:], 1<<62) // far out of range
+		dsm := SQE{Opcode: IODSM, NSID: 1, PRP1: listAddr, CDW10: 0, CDW11: DSMAttrDeallocate}
+		cqe := execIO(t, p, r.host, q, &dsm)
+		if sct, sc := cqe.StatusCode(); sct != SCTGeneric || sc != SCLBAOutOfRange {
+			t.Fatalf("status (%d,%#x)", sct, sc)
+		}
+	})
+}
+
+func putLE32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

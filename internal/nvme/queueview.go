@@ -1,0 +1,130 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// QueueView is the driver-side state for operating one SQ/CQ pair. All
+// addresses are expressed in the *driver host's* domain — for a remote
+// controller they are NTB window addresses; the fabric handles the rest.
+// This is the object both the local baseline driver and the distributed
+// driver's clients operate queues through; it performs no locking because
+// NVMe queues are single-owner by design (paper §II).
+type QueueView struct {
+	ID   uint16
+	Size int
+	// SQAddr and CQAddr locate queue memory as seen from the driver host.
+	SQAddr pcie.Addr
+	CQAddr pcie.Addr
+	// SQDoorbell and CQDoorbell locate the doorbell registers as seen
+	// from the driver host (BAR or BAR-window addresses).
+	SQDoorbell pcie.Addr
+	CQDoorbell pcie.Addr
+
+	sqTail int
+	cqHead int
+	phase  bool
+	// inflight counts submitted-but-not-completed commands.
+	inflight int
+	nextCID  uint16
+	// lock serializes the SQE-write + doorbell sequence across concurrent
+	// submitters on the same host, as a kernel driver's per-queue spinlock
+	// does. Nil means single-submitter use (no locking).
+	lock *sim.Semaphore
+}
+
+// NewQueueView initializes driver-side state for a queue pair of the given
+// size. The expected initial phase is 1, per spec.
+func NewQueueView(id uint16, size int, sqAddr, cqAddr, sqDB, cqDB pcie.Addr) *QueueView {
+	return &QueueView{
+		ID: id, Size: size,
+		SQAddr: sqAddr, CQAddr: cqAddr,
+		SQDoorbell: sqDB, CQDoorbell: cqDB,
+		phase: true,
+	}
+}
+
+// EnableLocking makes Submit safe for multiple concurrent submitting
+// processes on k.
+func (q *QueueView) EnableLocking(k *sim.Kernel) {
+	q.lock = sim.NewSemaphore(k, 1)
+}
+
+// Inflight returns the number of outstanding commands.
+func (q *QueueView) Inflight() int { return q.inflight }
+
+// Full reports whether another submission would overrun the SQ.
+func (q *QueueView) Full() bool { return q.inflight >= q.Size-1 }
+
+// NextCID returns a fresh command identifier.
+func (q *QueueView) NextCID() uint16 {
+	q.nextCID++
+	return q.nextCID
+}
+
+// Submit writes cmd into the next SQ slot and rings the tail doorbell.
+// The SQE write and the doorbell write are both posted; PCIe ordering
+// guarantees the entry is visible to the controller before the doorbell
+// (§V of the paper relies on this across the NTB).
+func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
+	if q.lock != nil {
+		p.Acquire(q.lock)
+		defer q.lock.Release()
+	}
+	if q.Full() {
+		return fmt.Errorf("nvme: queue %d full", q.ID)
+	}
+	slot := q.sqTail
+	q.sqTail = (q.sqTail + 1) % q.Size
+	q.inflight++
+	if err := h.Write(p, q.SQAddr+pcie.Addr(slot*SQESize), cmd.Marshal()); err != nil {
+		return err
+	}
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(q.sqTail))
+	return h.Write(p, q.SQDoorbell, db[:])
+}
+
+// Ring re-rings the SQ doorbell with the current tail (used after batched
+// SQE writes).
+func (q *QueueView) Ring(p *sim.Proc, h *pcie.HostPort) error {
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(q.sqTail))
+	return h.Write(p, q.SQDoorbell, db[:])
+}
+
+// Poll checks the current CQ head slot for a new completion. It consumes
+// and returns the entry if its phase matches, advancing the head and
+// ringing the CQ head doorbell. Costs one local access (or a fabric read
+// for a remote CQ).
+func (q *QueueView) Poll(p *sim.Proc, h *pcie.HostPort) (CQE, bool, error) {
+	buf := make([]byte, CQESize)
+	if err := h.Read(p, q.CQAddr+pcie.Addr(q.cqHead*CQESize), buf); err != nil {
+		return CQE{}, false, err
+	}
+	cqe := UnmarshalCQE(buf)
+	if cqe.Phase() != q.phase {
+		return CQE{}, false, nil
+	}
+	q.cqHead++
+	if q.cqHead == q.Size {
+		q.cqHead = 0
+		q.phase = !q.phase
+	}
+	q.inflight--
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(q.cqHead))
+	if err := h.Write(p, q.CQDoorbell, db[:]); err != nil {
+		return CQE{}, false, err
+	}
+	return cqe, true, nil
+}
+
+// CQRange returns the address range of the CQ ring (for Watch).
+func (q *QueueView) CQRange() pcie.Range {
+	return pcie.Range{Base: q.CQAddr, Size: uint64(q.Size * CQESize)}
+}

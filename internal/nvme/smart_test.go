@@ -1,0 +1,98 @@
+package nvme
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSMARTLogRoundTrip(t *testing.T) {
+	s := SMARTLog{
+		TemperatureK: 313, UnitsRead: 100, UnitsWritten: 200,
+		HostReadCmds: 7, HostWriteCmds: 9, PowerCycles: 1,
+		UnsafeShutdowns: 2, MediaErrors: 3,
+	}
+	got := UnmarshalSMARTLog(MarshalSMARTLog(s))
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+}
+
+func TestPropSMARTLogRoundTrip(t *testing.T) {
+	f := func(temp uint16, a, b, c, d, e, g, h uint64) bool {
+		s := SMARTLog{TemperatureK: temp, UnitsRead: a, UnitsWritten: b,
+			HostReadCmds: c, HostWriteCmds: d, PowerCycles: e,
+			UnsafeShutdowns: g, MediaErrors: h}
+		return UnmarshalSMARTLog(MarshalSMARTLog(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSMARTReflectsLiveCounters(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 16)
+		buf, _ := r.host.Alloc(PageSize, PageSize)
+		// 3 writes, 2 reads, 1 injected media error.
+		for i := 0; i < 3; i++ {
+			w := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf, CDW10: uint32(i * 8), CDW12: 7}
+			if cqe := execIO(t, p, r.host, q, &w); !cqe.OK() {
+				t.Fatal("write failed")
+			}
+		}
+		for i := 0; i < 2; i++ {
+			rd := SQE{Opcode: IORead, NSID: 1, PRP1: buf, CDW10: uint32(i * 8), CDW12: 7}
+			if cqe := execIO(t, p, r.host, q, &rd); !cqe.OK() {
+				t.Fatal("read failed")
+			}
+		}
+		r.med.InjectReadErrors(1)
+		bad := SQE{Opcode: IORead, NSID: 1, PRP1: buf, CDW10: 0, CDW12: 7}
+		if cqe := execIO(t, p, r.host, q, &bad); cqe.OK() {
+			t.Fatal("injected error vanished")
+		}
+
+		smart, err := a.SMART(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.HostWriteCmds != 3 || smart.HostReadCmds != 2 {
+			t.Errorf("host cmd counts r=%d w=%d", smart.HostReadCmds, smart.HostWriteCmds)
+		}
+		if smart.MediaErrors != 1 {
+			t.Errorf("media errors %d, want 1", smart.MediaErrors)
+		}
+		// 3 writes x 8 blocks x 512 B = 24 units of 512 B.
+		if smart.UnitsWritten != 24 {
+			t.Errorf("units written %d, want 24", smart.UnitsWritten)
+		}
+		if smart.TemperatureK == 0 {
+			t.Error("no temperature reported")
+		}
+	})
+}
+
+func TestVolatileWriteCacheFeature(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		on, err := a.SetVolatileWriteCache(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !on {
+			t.Error("VWC did not report enabled after set")
+		}
+		on, err = a.SetVolatileWriteCache(p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on {
+			t.Error("VWC did not report disabled after clear")
+		}
+	})
+}

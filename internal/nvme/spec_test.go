@@ -1,0 +1,161 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSQERoundTrip(t *testing.T) {
+	e := SQE{
+		Opcode: IOWrite, Flags: 0x40, CID: 0xBEEF, NSID: 1,
+		MPTR: 0x1111, PRP1: 0x2000, PRP2: 0x3000,
+		CDW10: 10, CDW11: 11, CDW12: 12, CDW13: 13, CDW14: 14, CDW15: 15,
+	}
+	b := e.Marshal()
+	if len(b) != SQESize {
+		t.Fatalf("len = %d, want %d", len(b), SQESize)
+	}
+	got := UnmarshalSQE(b)
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+}
+
+func TestCQERoundTrip(t *testing.T) {
+	c := CQE{DW0: 0x12345678, SQHead: 7, SQID: 3, CID: 42, StatusPhase: Status(SCTGeneric, SCInvalidNS)<<1 | 1}
+	b := c.Marshal()
+	if len(b) != CQESize {
+		t.Fatalf("len = %d, want %d", len(b), CQESize)
+	}
+	got := UnmarshalCQE(b)
+	if got != c {
+		t.Fatalf("round trip: got %+v, want %+v", got, c)
+	}
+	if !got.Phase() {
+		t.Fatal("phase lost")
+	}
+	sct, sc := got.StatusCode()
+	if sct != SCTGeneric || sc != SCInvalidNS {
+		t.Fatalf("status code (%d,%#x)", sct, sc)
+	}
+	if got.OK() {
+		t.Fatal("error status reported OK")
+	}
+}
+
+func TestStatusPacking(t *testing.T) {
+	if Status(SCTGeneric, SCSuccess) != 0 {
+		t.Fatal("success status must be 0")
+	}
+	s := Status(SCTCmdSpecific, SCInvalidQID)
+	if s != 1<<8|1 {
+		t.Fatalf("status = %#x", s)
+	}
+}
+
+func TestDoorbellOffsets(t *testing.T) {
+	if SQTailDoorbell(0, 0) != 0x1000 {
+		t.Fatalf("SQ0 db = %#x", SQTailDoorbell(0, 0))
+	}
+	if CQHeadDoorbell(0, 0) != 0x1004 {
+		t.Fatalf("CQ0 db = %#x", CQHeadDoorbell(0, 0))
+	}
+	if SQTailDoorbell(1, 0) != 0x1008 {
+		t.Fatalf("SQ1 db = %#x", SQTailDoorbell(1, 0))
+	}
+	// Stride 1 doubles spacing.
+	if SQTailDoorbell(1, 1) != 0x1000+2*8 {
+		t.Fatalf("SQ1 db stride1 = %#x", SQTailDoorbell(1, 1))
+	}
+}
+
+func TestIdentifyControllerRoundTrip(t *testing.T) {
+	id := IdentifyController{
+		VID: 0x8086, SSVID: 0x8086,
+		Serial: "SN123", Model: "Test Model", Firmware: "FW1",
+		NN: 4,
+	}
+	got := UnmarshalIdentifyController(MarshalIdentifyController(id))
+	if got.VID != id.VID || got.Serial != id.Serial || got.Model != id.Model ||
+		got.Firmware != id.Firmware || got.NN != id.NN {
+		t.Fatalf("got %+v, want %+v", got, id)
+	}
+}
+
+func TestIdentifyNamespaceRoundTrip(t *testing.T) {
+	ns := IdentifyNamespace{NSZE: 1 << 30, NCAP: 1 << 30, NUSE: 55, LBADS: 9}
+	got := UnmarshalIdentifyNamespace(MarshalIdentifyNamespace(ns))
+	if got != ns {
+		t.Fatalf("got %+v, want %+v", got, ns)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]uint8{1: 0, 2: 1, 512: 9, 4096: 12}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Fatalf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: SQE marshal/unmarshal is the identity for all field values.
+func TestPropSQERoundTrip(t *testing.T) {
+	f := func(op, fl uint8, cid uint16, nsid uint32, mptr, p1, p2 uint64, d10, d11, d12, d13, d14, d15 uint32) bool {
+		e := SQE{op, fl, cid, nsid, mptr, p1, p2, d10, d11, d12, d13, d14, d15}
+		return UnmarshalSQE(e.Marshal()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CQE marshal/unmarshal is the identity.
+func TestPropCQERoundTrip(t *testing.T) {
+	f := func(dw0 uint32, h, q, cid, sp uint16) bool {
+		c := CQE{dw0, h, q, cid, sp}
+		return UnmarshalCQE(c.Marshal()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshaled identify structures always occupy exactly one page.
+func TestPropIdentifySizes(t *testing.T) {
+	f := func(serial string, nn uint32) bool {
+		b := MarshalIdentifyController(IdentifyController{Serial: serial, NN: nn})
+		return len(b) == PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimPadded(t *testing.T) {
+	if got := trimPadded([]byte("ab  ")); got != "ab" {
+		t.Fatalf("got %q", got)
+	}
+	if got := trimPadded([]byte{0, 0}); got != "" {
+		t.Fatalf("got %q", got)
+	}
+	if got := trimPadded(bytes.NewBufferString("x").Bytes()); got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestONCSAdvertisement(t *testing.T) {
+	id := IdentifyController{ONCS: ONCSCompare | ONCSWriteZeroes | ONCSDSM, OACS: OACSGetLogPage}
+	got := UnmarshalIdentifyController(MarshalIdentifyController(id))
+	if !got.SupportsCompare() || !got.SupportsWriteZeroes() || !got.SupportsDSM() {
+		t.Fatalf("ONCS lost in round trip: %+v", got)
+	}
+	if got.OACS != OACSGetLogPage {
+		t.Fatalf("OACS lost: %#x", got.OACS)
+	}
+	none := UnmarshalIdentifyController(MarshalIdentifyController(IdentifyController{}))
+	if none.SupportsCompare() || none.SupportsWriteZeroes() || none.SupportsDSM() {
+		t.Fatal("zero ONCS advertises optional commands")
+	}
+}

@@ -1,0 +1,245 @@
+package nvmeof_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/cluster"
+	"repro/internal/nvme"
+	"repro/internal/nvmeof"
+	"repro/internal/pcie"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+)
+
+// rig: host 0 = target (controller local), host 1 = initiator; ConnectX
+// NICs on both, no NTB involvement.
+type rig struct {
+	c    *cluster.Cluster
+	ctrl *nvme.Controller
+	qpT  *rdma.QP
+	qpI  *rdma.QP
+}
+
+func newRig(t *testing.T, nvmeCfg cluster.NVMeConfig) *rig {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Hosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := c.AttachNVMe(0, nvmeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := func(h *cluster.Host, name string) *rdma.NIC {
+		ep := h.Dom.AddNode(pcie.Endpoint, name)
+		if err := h.Dom.Connect(h.RC, ep); err != nil {
+			t.Fatal(err)
+		}
+		return rdma.NewNIC(name, h.Port, ep, rdma.Params{})
+	}
+	nicT := attach(c.Hosts[0], "cx5-target")
+	nicI := attach(c.Hosts[1], "cx5-init")
+	qpT := nicT.NewQP()
+	qpI := nicI.NewQP()
+	rdma.Connect(qpT, qpI)
+	return &rig{c: c, ctrl: ctrl, qpT: qpT, qpI: qpI}
+}
+
+// start brings up target + initiator, then runs fn as the initiator host.
+func (r *rig) start(t *testing.T, tparams nvmeof.TargetParams, iparams nvmeof.InitiatorParams,
+	fn func(p *sim.Proc, ini *nvmeof.Initiator)) {
+	t.Helper()
+	r.c.Go("main", func(p *sim.Proc) {
+		tgt, err := nvmeof.NewTarget(p, r.c.Hosts[0].Port, cluster.NVMeBARBase, tparams)
+		if err != nil {
+			t.Errorf("target: %v", err)
+			return
+		}
+		if err := tgt.Serve(p, r.qpT); err != nil {
+			t.Errorf("serve: %v", err)
+			return
+		}
+		ini, err := nvmeof.NewInitiator(p, "nvme1n1", r.c.Hosts[1].Port, r.qpI, iparams)
+		if err != nil {
+			t.Errorf("initiator: %v", err)
+			return
+		}
+		fn(p, ini)
+	})
+	r.c.Run()
+}
+
+func TestConnectHandshake(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		if ini.BlockSize() != 512 {
+			t.Errorf("block size %d", ini.BlockSize())
+		}
+		if ini.Blocks() == 0 {
+			t.Error("no capacity reported")
+		}
+	})
+}
+
+func TestReadWriteInCapsule(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		want := bytes.Repeat([]byte{0xFA, 0xB1}, 2048) // 4 kB: in-capsule write
+		if err := ini.WriteBlocks(p, 555, 8, want); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		got := make([]byte, 4096)
+		if err := ini.ReadBlocks(p, 555, 8, got); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("data mismatch over fabrics")
+		}
+	})
+	if r.ctrl.Stats.ReadCmds != 1 || r.ctrl.Stats.WriteCmds != 1 {
+		t.Fatalf("controller stats %+v", r.ctrl.Stats)
+	}
+}
+
+func TestLargeWriteUsesRDMARead(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		n := 16 * 4096 // 64 kB: beyond in-capsule, beyond 2 pages
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = byte(i*11 + 3)
+		}
+		if err := ini.WriteBlocks(p, 0, n/512, want); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		got := make([]byte, n)
+		if err := ini.ReadBlocks(p, 0, n/512, got); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("large transfer mismatch")
+		}
+	})
+}
+
+func TestFlushOverFabrics(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		if err := ini.Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	})
+	if r.ctrl.Stats.FlushCmds != 1 {
+		t.Fatalf("flushes %d", r.ctrl.Stats.FlushCmds)
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{SlotBytes: 8192},
+		func(p *sim.Proc, ini *nvmeof.Initiator) {
+			buf := make([]byte, 16384)
+			if err := ini.ReadBlocks(p, 0, len(buf)/512, buf); !errors.Is(err, nvmeof.ErrTooLarge) {
+				t.Errorf("got %v, want ErrTooLarge", err)
+			}
+		})
+}
+
+func TestIOErrorPropagates(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		// Read past capacity: controller reports LBA out of range; the
+		// status must surface through the response capsule.
+		err := ini.ReadBlocks(p, ini.Blocks(), 8, make([]byte, 4096))
+		if !errors.Is(err, nvmeof.ErrIOFailed) {
+			t.Errorf("got %v, want ErrIOFailed", err)
+		}
+	})
+}
+
+func TestInitiatorAsBlockDevice(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		q := block.NewQueue(r.c.K, ini, block.QueueParams{})
+		want := bytes.Repeat([]byte{0x21}, 4096)
+		if err := q.SubmitAndWait(p, block.OpWrite, 99, 8, want); err != nil {
+			t.Errorf("blk write: %v", err)
+			return
+		}
+		got := make([]byte, 4096)
+		if err := q.SubmitAndWait(p, block.OpRead, 99, 8, got); err != nil {
+			t.Errorf("blk read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("mismatch via block layer")
+		}
+	})
+}
+
+func TestConcurrentFabricIO(t *testing.T) {
+	r := newRig(t, cluster.NVMeConfig{})
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		done := make([]*sim.Event, 8)
+		for i := range done {
+			done[i] = sim.NewEvent(r.c.K)
+			idx := i
+			ev := done[i]
+			r.c.K.Spawn("io", func(wp *sim.Proc) {
+				defer ev.Trigger(nil)
+				pat := bytes.Repeat([]byte{byte(idx + 1)}, 4096)
+				lba := uint64(idx * 1000)
+				if err := ini.WriteBlocks(wp, lba, 8, pat); err != nil {
+					t.Errorf("w%d: %v", idx, err)
+					return
+				}
+				got := make([]byte, 4096)
+				if err := ini.ReadBlocks(wp, lba, 8, got); err != nil {
+					t.Errorf("r%d: %v", idx, err)
+					return
+				}
+				if !bytes.Equal(got, pat) {
+					t.Errorf("io %d mismatch", idx)
+				}
+			})
+		}
+		for _, ev := range done {
+			p.Wait(ev)
+		}
+	})
+	if r.ctrl.Stats.ReadCmds != 8 || r.ctrl.Stats.WriteCmds != 8 {
+		t.Fatalf("stats %+v", r.ctrl.Stats)
+	}
+}
+
+func TestFabricsLatencyShape(t *testing.T) {
+	// NVMe-oF remote 4 kB QD1 read must carry several microseconds of
+	// network+software overhead on top of the ~10 us medium — the paper
+	// measures a 7.7 us delta vs. local. Accept a broad window here; the
+	// precise calibration is asserted in the cluster-level experiments.
+	r := newRig(t, cluster.NVMeConfig{Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12}})
+	var avg sim.Duration
+	r.start(t, nvmeof.TargetParams{}, nvmeof.InitiatorParams{}, func(p *sim.Proc, ini *nvmeof.Initiator) {
+		buf := make([]byte, 4096)
+		ini.ReadBlocks(p, 0, 8, buf) // warm-up
+		start := p.Now()
+		const n = 10
+		for i := 0; i < n; i++ {
+			if err := ini.ReadBlocks(p, uint64(i*8), 8, buf); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+		avg = (p.Now() - start) / n
+	})
+	if avg < 14000 || avg > 25000 {
+		t.Fatalf("fabrics QD1 read %d ns; expected ~16-20 us (medium + ~7 us fabric overhead)", avg)
+	}
+}

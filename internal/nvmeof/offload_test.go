@@ -1,0 +1,66 @@
+package nvmeof_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/nvme"
+	"repro/internal/nvmeof"
+	"repro/internal/sim"
+)
+
+// TestTargetOffloadLatencyUnchanged reproduces the paper's §VI remark:
+// "we also attempted target offloading, but this only appeared to reduce
+// CPU usage and did not affect latency."
+func TestTargetOffloadLatencyUnchanged(t *testing.T) {
+	type outcome struct {
+		avg  sim.Duration
+		busy int64
+	}
+	measure := func(offload bool) outcome {
+		r := newRig(t, cluster.NVMeConfig{Flash: nvme.FlashParams{JitterNs: 1, TailProb: 1e-12}})
+		var out outcome
+		r.c.Go("main", func(p *sim.Proc) {
+			tgt, err := nvmeof.NewTarget(p, r.c.Hosts[0].Port, cluster.NVMeBARBase,
+				nvmeof.TargetParams{Offload: offload})
+			if err != nil {
+				t.Errorf("target: %v", err)
+				return
+			}
+			if err := tgt.Serve(p, r.qpT); err != nil {
+				t.Errorf("serve: %v", err)
+				return
+			}
+			ini, err := nvmeof.NewInitiator(p, "n", r.c.Hosts[1].Port, r.qpI, nvmeof.InitiatorParams{})
+			if err != nil {
+				t.Errorf("initiator: %v", err)
+				return
+			}
+			buf := make([]byte, 4096)
+			ini.ReadBlocks(p, 0, 8, buf) // warm-up
+			start := p.Now()
+			const n = 20
+			for i := 0; i < n; i++ {
+				if err := ini.ReadBlocks(p, uint64(i*8), 8, buf); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+			out.avg = (p.Now() - start) / n
+			out.busy = tgt.CPUBusyNs
+		})
+		r.c.Run()
+		return out
+	}
+	plain := measure(false)
+	offloaded := measure(true)
+	if plain.avg != offloaded.avg {
+		t.Errorf("offload changed latency: %d vs %d ns (paper: no effect)", plain.avg, offloaded.avg)
+	}
+	if plain.busy == 0 {
+		t.Fatal("software target reported zero CPU busy time")
+	}
+	if offloaded.busy != 0 {
+		t.Errorf("offloaded target still charged %d ns to the host CPU", offloaded.busy)
+	}
+}

@@ -1,0 +1,34 @@
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// MemTarget adapts a memory.Memory to the Target interface. Out-of-range
+// DMA indicates a model bug (the fabric routed a transaction to a claim
+// that cannot hold it) and panics.
+type MemTarget struct {
+	Mem *memory.Memory
+}
+
+// TargetWrite implements Target.
+func (t MemTarget) TargetWrite(addr Addr, data []byte) {
+	if err := t.Mem.Write(addr, data); err != nil {
+		panic(fmt.Sprintf("pcie: DMA write escaped claim: %v", err))
+	}
+}
+
+// TargetRead implements Target.
+func (t MemTarget) TargetRead(addr Addr, buf []byte) {
+	if err := t.Mem.Read(addr, buf); err != nil {
+		panic(fmt.Sprintf("pcie: DMA read escaped claim: %v", err))
+	}
+}
+
+// AttachMemory claims mem's full physical range at node, making it
+// DMA-addressable in the domain.
+func AttachMemory(d *Domain, node NodeID, mem *memory.Memory) error {
+	return d.Claim(Range{Base: mem.Base(), Size: mem.Size()}, node, MemTarget{Mem: mem})
+}

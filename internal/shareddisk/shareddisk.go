@@ -1,0 +1,203 @@
+// Package shareddisk is a minimal shared-disk journal — the kind of
+// multi-writer on-disk structure the paper names as the motivation for
+// exposing the shared NVMe device as a block device ("to use shared disk
+// file systems available on Linux, such as GFS or OCFS", §V).
+//
+// The layout gives every host its own journal extent, so hosts append
+// without any cross-host locking (mirroring how the driver gives every
+// host its own queue pair), while any host can read every journal —
+// shared-disk semantics over one single-function NVMe device.
+//
+// On-disk layout (block = device logical block):
+//
+//	block 0:              superblock
+//	blocks 1 .. H*E:      H host extents of E blocks, one record per block
+package shareddisk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// Magic identifies a formatted device.
+const Magic = 0x53444A31 // "SDJ1"
+
+// Errors returned by the journal.
+var (
+	ErrNotFormatted = errors.New("shareddisk: device not formatted")
+	ErrBadHost      = errors.New("shareddisk: host id out of range")
+	ErrFull         = errors.New("shareddisk: journal extent full")
+	ErrCorrupt      = errors.New("shareddisk: record checksum mismatch")
+	ErrTooLarge     = errors.New("shareddisk: record larger than one block")
+)
+
+// Superblock describes a formatted device.
+type Superblock struct {
+	Hosts        uint32
+	ExtentBlocks uint32
+	BlockSize    uint32
+}
+
+func marshalSuper(sb Superblock, bs int) []byte {
+	b := make([]byte, bs)
+	binary.LittleEndian.PutUint32(b[0:], Magic)
+	binary.LittleEndian.PutUint32(b[4:], sb.Hosts)
+	binary.LittleEndian.PutUint32(b[8:], sb.ExtentBlocks)
+	binary.LittleEndian.PutUint32(b[12:], sb.BlockSize)
+	return b
+}
+
+func unmarshalSuper(b []byte) (Superblock, error) {
+	if binary.LittleEndian.Uint32(b[0:]) != Magic {
+		return Superblock{}, ErrNotFormatted
+	}
+	return Superblock{
+		Hosts:        binary.LittleEndian.Uint32(b[4:]),
+		ExtentBlocks: binary.LittleEndian.Uint32(b[8:]),
+		BlockSize:    binary.LittleEndian.Uint32(b[12:]),
+	}, nil
+}
+
+// record layout within one block: seq(8) len(4) crc(4) payload.
+const recHeader = 16
+
+// Format writes the superblock and zeroes every extent's first block so
+// journals start empty.
+func Format(p *sim.Proc, q *block.Queue, hosts, extentBlocks int) error {
+	bs := q.Device().BlockSize()
+	need := uint64(1 + hosts*extentBlocks)
+	if need > q.Device().Blocks() {
+		return fmt.Errorf("shareddisk: device too small: need %d blocks", need)
+	}
+	if err := q.SubmitAndWait(p, block.OpWrite, 0, 1,
+		marshalSuper(Superblock{Hosts: uint32(hosts), ExtentBlocks: uint32(extentBlocks), BlockSize: uint32(bs)}, bs)); err != nil {
+		return err
+	}
+	// A zeroed first record block marks an empty journal; Write Zeroes
+	// keeps formatting cheap on large extents.
+	for h := 0; h < hosts; h++ {
+		lba := uint64(1 + h*extentBlocks)
+		if err := q.SubmitAndWait(p, block.OpWriteZeroes, lba, extentBlocks, nil); err != nil {
+			return err
+		}
+	}
+	return q.SubmitAndWait(p, block.OpFlush, 0, 0, nil)
+}
+
+// Journal is one host's handle on the shared device.
+type Journal struct {
+	q    *block.Queue
+	sb   Superblock
+	host int
+	next uint32 // next free block within our extent
+	seq  uint64
+}
+
+// Open reads the superblock and positions the host's append cursor after
+// any existing records (crash recovery by scan).
+func Open(p *sim.Proc, q *block.Queue, host int) (*Journal, error) {
+	bs := q.Device().BlockSize()
+	raw := make([]byte, bs)
+	if err := q.SubmitAndWait(p, block.OpRead, 0, 1, raw); err != nil {
+		return nil, err
+	}
+	sb, err := unmarshalSuper(raw)
+	if err != nil {
+		return nil, err
+	}
+	if host < 0 || host >= int(sb.Hosts) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadHost, host, sb.Hosts)
+	}
+	j := &Journal{q: q, sb: sb, host: host}
+	// Scan for the first empty block (seq==0 means unused).
+	for j.next < sb.ExtentBlocks {
+		rec, err := j.readBlock(p, host, j.next)
+		if err != nil || rec == nil {
+			break
+		}
+		j.seq = binary.LittleEndian.Uint64(rec)
+		j.next++
+	}
+	return j, nil
+}
+
+// Superblock returns the device description.
+func (j *Journal) Superblock() Superblock { return j.sb }
+
+// Len returns the number of records this host has appended.
+func (j *Journal) Len() int { return int(j.next) }
+
+func (j *Journal) extentLBA(host int, idx uint32) uint64 {
+	return uint64(1 + host*int(j.sb.ExtentBlocks) + int(idx))
+}
+
+// Append writes one record to the host's extent and flushes it.
+func (j *Journal) Append(p *sim.Proc, payload []byte) error {
+	bs := int(j.sb.BlockSize)
+	if len(payload)+recHeader > bs {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if j.next >= j.sb.ExtentBlocks {
+		return ErrFull
+	}
+	j.seq++
+	blk := make([]byte, bs)
+	binary.LittleEndian.PutUint64(blk[0:], j.seq)
+	binary.LittleEndian.PutUint32(blk[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(blk[12:], crc32.ChecksumIEEE(payload))
+	copy(blk[recHeader:], payload)
+	if err := j.q.SubmitAndWait(p, block.OpWrite, j.extentLBA(j.host, j.next), 1, blk); err != nil {
+		return err
+	}
+	j.next++
+	return j.q.SubmitAndWait(p, block.OpFlush, 0, 0, nil)
+}
+
+// readBlock reads record idx of the given host's extent; nil means the
+// slot is unused.
+func (j *Journal) readBlock(p *sim.Proc, host int, idx uint32) ([]byte, error) {
+	bs := int(j.sb.BlockSize)
+	raw := make([]byte, bs)
+	if err := j.q.SubmitAndWait(p, block.OpRead, j.extentLBA(host, idx), 1, raw); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(raw[0:]) == 0 {
+		return nil, nil
+	}
+	return raw, nil
+}
+
+// ReadAll returns every record in the given host's journal, in order,
+// verifying checksums. Any host may read any journal — that is the
+// shared-disk point.
+func (j *Journal) ReadAll(p *sim.Proc, host int) ([][]byte, error) {
+	if host < 0 || host >= int(j.sb.Hosts) {
+		return nil, fmt.Errorf("%w: %d", ErrBadHost, host)
+	}
+	var out [][]byte
+	for idx := uint32(0); idx < j.sb.ExtentBlocks; idx++ {
+		raw, err := j.readBlock(p, host, idx)
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(raw[8:])
+		if int(n)+recHeader > len(raw) {
+			return nil, ErrCorrupt
+		}
+		payload := make([]byte, n)
+		copy(payload, raw[recHeader:recHeader+int(n)])
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[12:]) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, payload)
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package sim
+
+// Event is a one-shot occurrence processes can wait on. Once triggered it
+// stays triggered; subsequent Wait calls return immediately with the stored
+// payload. Events are not safe for use outside the simulation loop.
+type Event struct {
+	k         *Kernel
+	triggered bool
+	payload   any
+	waiters   []*Proc
+}
+
+// NewEvent creates an untriggered event on k.
+func NewEvent(k *Kernel) *Event {
+	return &Event{k: k}
+}
+
+// Triggered reports whether the event has fired.
+func (e *Event) Triggered() bool { return e.triggered }
+
+// Payload returns the value passed to Trigger, or nil before triggering.
+func (e *Event) Payload() any { return e.payload }
+
+// Trigger fires the event with payload v, scheduling all current waiters to
+// resume at the current virtual time in the order they began waiting.
+// Triggering an already-triggered event is a no-op.
+func (e *Event) Trigger(v any) {
+	if e.triggered {
+		return
+	}
+	e.triggered = true
+	e.payload = v
+	for _, p := range e.waiters {
+		e.wakeWaiter(p)
+	}
+	e.waiters = nil
+}
+
+func (e *Event) wakeWaiter(p *Proc) {
+	e.k.unpark(p)
+	e.k.schedule(e.k.now, func() {
+		if p.dead {
+			return
+		}
+		p.resume <- struct{}{}
+		<-e.k.ack
+	})
+}
+
+// WaitAll blocks until every event has triggered.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, e := range evs {
+		p.Wait(e)
+	}
+}
+
+// Wait blocks the process until the event triggers and returns the payload.
+func (p *Proc) Wait(e *Event) any {
+	if e.triggered {
+		return e.payload
+	}
+	e.waiters = append(e.waiters, p)
+	p.k.park(p)
+	p.yield()
+	return e.payload
+}
+
+// WaitTimeout blocks until the event triggers or d elapses. It returns the
+// payload and true on trigger, or nil and false on timeout.
+func (p *Proc) WaitTimeout(e *Event, d Duration) (any, bool) {
+	if e.triggered {
+		return e.payload, true
+	}
+	if d <= 0 {
+		return nil, false
+	}
+	timer := p.wakeAt(p.k.now + d)
+	e.waiters = append(e.waiters, p)
+	p.k.park(p)
+	p.yield()
+	if e.triggered {
+		p.k.cancel(timer)
+		return e.payload, true
+	}
+	// Timed out: remove ourselves from the waiter list.
+	for i, w := range e.waiters {
+		if w == p {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
+		}
+	}
+	p.k.unpark(p)
+	return nil, false
+}
+
+// Signal is a reusable wakeup: Set resumes every process currently waiting,
+// then resets. Waits that begin after a Set block until the next Set. This
+// models edge-triggered notifications such as doorbell writes.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+	sets    uint64
+}
+
+// NewSignal creates a signal on k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Sets returns how many times Set has been called; useful as a cheap
+// sequence check in polling loops.
+func (s *Signal) Sets() uint64 { return s.sets }
+
+// Set wakes all processes currently blocked in WaitSignal.
+func (s *Signal) Set() {
+	s.sets++
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		proc := p
+		s.k.unpark(proc)
+		s.k.schedule(s.k.now, func() {
+			if proc.dead {
+				return
+			}
+			proc.resume <- struct{}{}
+			<-s.k.ack
+		})
+	}
+}
+
+// WaitSignal blocks until the next Set.
+func (p *Proc) WaitSignal(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.k.park(p)
+	p.yield()
+}
+
+// WaitSignalTimeout blocks until the next Set or until d elapses, returning
+// true if woken by Set.
+func (p *Proc) WaitSignalTimeout(s *Signal, d Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	before := s.sets
+	timer := p.wakeAt(p.k.now + d)
+	s.waiters = append(s.waiters, p)
+	p.k.park(p)
+	p.yield()
+	if s.sets != before {
+		p.k.cancel(timer)
+		return true
+	}
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	p.k.unpark(p)
+	return false
+}

@@ -1,0 +1,297 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with coroutine-style processes.
+//
+// The kernel maintains a virtual clock in nanoseconds and an event heap
+// ordered by (time, sequence). Simulated actors — CPU threads, device
+// controllers, NIC engines — are written as ordinary blocking Go functions
+// running in goroutines, but the kernel guarantees that exactly one process
+// executes at a time and that wakeups are delivered in a deterministic
+// order. This gives SimPy-style ergonomics (Sleep, Wait, Signal) with
+// bit-reproducible runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time = int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Common durations, mirroring time package granularity.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// item is a scheduled entry in the event heap.
+type item struct {
+	t   Time
+	seq uint64
+	fn  func() // runs inline in the kernel loop; must not block
+	idx int
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is a discrete-event simulation executor. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	heap     eventHeap
+	ack      chan struct{} // a running process signals the kernel here when it yields or exits
+	stopping bool
+	nprocs   int
+	executed uint64
+	parked   waiterSet
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{ack: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports the number of heap items processed so far. Useful for
+// detecting runaway simulations in tests.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// schedule enqueues fn to run at time t. Items scheduled for the same time
+// run in scheduling order.
+func (k *Kernel) schedule(t Time, fn func()) *item {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %d < %d", t, k.now))
+	}
+	k.seq++
+	it := &item{t: t, seq: k.seq, fn: fn}
+	heap.Push(&k.heap, it)
+	return it
+}
+
+// cancel removes a scheduled item if it is still pending.
+func (k *Kernel) cancel(it *item) {
+	if it.idx >= 0 && it.idx < len(k.heap) && k.heap[it.idx] == it {
+		heap.Remove(&k.heap, it.idx)
+		it.idx = -1
+	}
+}
+
+// After schedules fn to run after delay d of virtual time. fn runs inline in
+// the kernel loop and must not block; use Spawn for blocking logic.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, fn)
+}
+
+// Stopped is the panic value used to unwind processes when the kernel shuts
+// down. Process functions must not recover it.
+type Stopped struct{}
+
+func (Stopped) Error() string { return "sim: kernel stopped" }
+
+// Proc is a simulated process. A Proc may only call its blocking methods
+// (Sleep, Wait, Yield, ...) from the goroutine running its body.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	dead   bool
+	exitEv *Event
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process executing fn. The process starts at the current
+// virtual time, after already-scheduled items for that time.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), exitEv: NewEvent(k)}
+	k.nprocs++
+	k.schedule(k.now, func() {
+		go p.run(fn)
+		<-k.ack
+	})
+	return p
+}
+
+// SpawnAt is like Spawn but delays process start by d.
+func (k *Kernel) SpawnAt(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), exitEv: NewEvent(k)}
+	k.nprocs++
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, func() {
+		go p.run(fn)
+		<-k.ack
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		p.dead = true
+		p.k.nprocs--
+		if r := recover(); r != nil {
+			if _, ok := r.(Stopped); ok {
+				// Unwound by kernel shutdown: hand control back quietly.
+				p.k.ack <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+		p.exitEv.Trigger(nil)
+		p.k.ack <- struct{}{}
+	}()
+	fn(p)
+}
+
+// yield hands control back to the kernel and blocks until resumed.
+func (p *Proc) yield() {
+	p.k.ack <- struct{}{}
+	<-p.resume
+	if p.k.stopping {
+		panic(Stopped{})
+	}
+}
+
+// wake schedules this process to resume at time t.
+func (p *Proc) wakeAt(t Time) *item {
+	return p.k.schedule(t, func() {
+		p.resume <- struct{}{}
+		<-p.k.ack
+	})
+}
+
+// Sleep blocks the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields, letting same-time items run).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.wakeAt(p.k.now + d)
+	p.yield()
+}
+
+// Exited returns an event triggered when the process function returns.
+func (p *Proc) Exited() *Event { return p.exitEv }
+
+// Run executes scheduled items until the heap is empty or until the clock
+// would pass limit. It returns the virtual time at which execution stopped.
+// Use MaxTime to run to completion.
+func (k *Kernel) Run(limit Time) Time {
+	for len(k.heap) > 0 {
+		it := k.heap[0]
+		if it.t > limit {
+			k.now = limit
+			return k.now
+		}
+		heap.Pop(&k.heap)
+		it.idx = -1
+		k.now = it.t
+		k.executed++
+		it.fn()
+	}
+	return k.now
+}
+
+// RunAll runs the simulation until no scheduled items remain.
+func (k *Kernel) RunAll() Time { return k.Run(MaxTime) }
+
+// Shutdown unwinds all blocked processes so their goroutines exit. Pending
+// timers for dead processes are discarded. Call after Run when the kernel
+// will no longer be used (e.g. between benchmark iterations) to avoid
+// leaking goroutines.
+func (k *Kernel) Shutdown() {
+	k.stopping = true
+	// Resuming a blocked process makes it panic with Stopped{} in yield.
+	// Blocked processes are exactly those with live goroutines waiting on
+	// p.resume. We cannot enumerate them from here, so shutdown works by
+	// the cooperation of wakeups: drain the heap first (timers resume and
+	// immediately unwind), then unwind waiters parked on events.
+	for len(k.heap) > 0 {
+		it := heap.Pop(&k.heap).(*item)
+		it.idx = -1
+		k.executed++
+		it.fn()
+	}
+	for _, w := range k.collectWaiters() {
+		if !w.dead {
+			w.resume <- struct{}{}
+			<-k.ack
+		}
+	}
+}
+
+// waiterSet tracks processes parked on events so Shutdown can unwind them.
+// Events register and deregister their waiters here.
+type waiterSet map[*Proc]struct{}
+
+// parked processes indexed on the kernel.
+func (k *Kernel) collectWaiters() []*Proc {
+	out := make([]*Proc, 0, len(k.parked))
+	for p := range k.parked {
+		out = append(out, p)
+	}
+	// Deterministic order is unnecessary during shutdown, but keep it
+	// stable for debuggability: order by name then pointer identity is
+	// not available; shutdown order does not affect simulation results.
+	return out
+}
+
+// park/unpark bookkeeping used by Event.
+func (k *Kernel) park(p *Proc) {
+	if k.parked == nil {
+		k.parked = make(waiterSet)
+	}
+	k.parked[p] = struct{}{}
+}
+
+func (k *Kernel) unpark(p *Proc) {
+	delete(k.parked, p)
+}

@@ -1,0 +1,196 @@
+package sisci_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sisci"
+)
+
+func twoNodes(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Hosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCreateAndConnectSegment(t *testing.T) {
+	c := twoNodes(t)
+	a, b := c.Hosts[0].Node, c.Hosts[1].Node
+	seg, err := b.CreateSegment(7, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not yet available: connect fails.
+	if _, err := a.ConnectSegment(1, 7); !errors.Is(err, sisci.ErrNotAvailable) {
+		t.Fatalf("connect before available: %v", err)
+	}
+	seg.SetAvailable()
+	rs, err := a.ConnectSegment(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Seg.Size != 8192 || rs.Seg.Owner != 1 {
+		t.Fatalf("segment meta: %+v", rs.Seg)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	c := twoNodes(t)
+	a := c.Hosts[0].Node
+	if _, err := a.ConnectSegment(0, 1); !errors.Is(err, sisci.ErrSelfConnect) {
+		t.Fatalf("self connect: %v", err)
+	}
+	if _, err := a.ConnectSegment(9, 1); !errors.Is(err, sisci.ErrNoSuchNode) {
+		t.Fatalf("bad node: %v", err)
+	}
+	if _, err := a.ConnectSegment(1, 42); !errors.Is(err, sisci.ErrNoSuchSegment) {
+		t.Fatalf("bad segment: %v", err)
+	}
+}
+
+func TestDuplicateSegmentID(t *testing.T) {
+	c := twoNodes(t)
+	n := c.Hosts[0].Node
+	if _, err := n.CreateSegment(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CreateSegment(1, 4096); !errors.Is(err, sisci.ErrSegmentExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := n.RemoveSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CreateSegment(1, 4096); err != nil {
+		t.Fatalf("recreate after remove: %v", err)
+	}
+}
+
+func TestMapAndSharedMemoryWrite(t *testing.T) {
+	c := twoNodes(t)
+	a, b := c.Hosts[0], c.Hosts[1]
+	seg, err := b.Node.CreateSegment(3, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.SetAvailable()
+	rs, err := a.Node.ConnectSegment(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := rs.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("shared memory over ntb")
+	c.Go("cpuA", func(p *sim.Proc) {
+		if err := a.Port.Write(p, la+16, want); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	// B reads its own physical memory directly.
+	got, err := b.Port.Slice(seg.Addr+16, uint64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestMapTwiceAndUnmap(t *testing.T) {
+	c := twoNodes(t)
+	a, b := c.Hosts[0].Node, c.Hosts[1].Node
+	seg, _ := b.CreateSegment(5, 4096)
+	seg.SetAvailable()
+	rs, _ := a.ConnectSegment(1, 5)
+	if _, err := rs.Addr(); !errors.Is(err, sisci.ErrNotMapped) {
+		t.Fatalf("Addr before Map: %v", err)
+	}
+	la, err := rs.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := rs.Addr(); got != la {
+		t.Fatal("Addr != Map result")
+	}
+	if _, err := rs.Map(); !errors.Is(err, sisci.ErrAlreadyMapped) {
+		t.Fatalf("double map: %v", err)
+	}
+	if err := rs.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Unmap(); !errors.Is(err, sisci.ErrNotMapped) {
+		t.Fatalf("double unmap: %v", err)
+	}
+	// Remappable after unmap.
+	if _, err := rs.Map(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleNodesMapSameSegment(t *testing.T) {
+	// "Multiple hosts may map the same parts of memory" (§IV).
+	c, err := cluster.New(cluster.Config{Hosts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := c.Hosts[3]
+	seg, _ := owner.Node.CreateSegment(11, 4096)
+	seg.SetAvailable()
+	for i := 0; i < 3; i++ {
+		h := c.Hosts[i]
+		rs, err := h.Node.ConnectSegment(3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := rs.Map()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := i
+		c.Go("writer", func(p *sim.Proc) {
+			if err := h.Port.Write(p, la+uint64(idx), []byte{byte(0x10 + idx)}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	c.Run()
+	got, _ := owner.Port.Slice(seg.Addr, 3)
+	if got[0] != 0x10 || got[1] != 0x11 || got[2] != 0x12 {
+		t.Fatalf("bytes %v", got)
+	}
+}
+
+func TestRegisterSegmentForBAR(t *testing.T) {
+	// Device BARs are exported as segments (SmartIO uses this).
+	c := twoNodes(t)
+	b := c.Hosts[1].Node
+	if _, err := b.RegisterSegment(100, cluster.NVMeBARBase, cluster.NVMeBARSize); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.LocalSegment(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != cluster.NVMeBARBase {
+		t.Fatalf("addr %#x", s.Addr)
+	}
+	// Removing a registered (non-DRAM) segment must not fail.
+	if err := b.RemoveSegment(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveMissingSegment(t *testing.T) {
+	c := twoNodes(t)
+	if err := c.Hosts[0].Node.RemoveSegment(77); !errors.Is(err, sisci.ErrNoSuchSegment) {
+		t.Fatalf("got %v", err)
+	}
+}

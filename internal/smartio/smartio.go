@@ -1,0 +1,385 @@
+// Package smartio implements the paper's SmartIO device-oriented SISCI
+// extension (§IV): a cluster-wide device registry with automatic BAR
+// export, device acquire/release with exclusive and shared modes, "DMA
+// windows" that map SISCI segments *for a device* (so the device can
+// reach them with native DMA), and access-pattern-hinted segment
+// allocation that places memory near its dominant accessor — the
+// mechanism behind Figure 8's submission-queue placement.
+package smartio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sisci"
+)
+
+// DeviceID is a cluster-wide device identifier.
+type DeviceID uint32
+
+// Errors returned by the service.
+var (
+	ErrNoSuchDevice = errors.New("smartio: no such device")
+	ErrBusy         = errors.New("smartio: device busy")
+	ErrNotExclusive = errors.New("smartio: reference is not exclusive")
+	ErrReleased     = errors.New("smartio: reference released")
+	ErrNotWindowed  = errors.New("smartio: address is not a DMA window")
+)
+
+// barSegmentBase offsets the SISCI segment IDs used for auto-exported BARs
+// away from application segment IDs.
+const barSegmentBase sisci.SegmentID = 0xBA00_0000
+
+// Access hints for AllocMapped, combinable with bitwise or.
+type Access uint8
+
+// Access pattern bits.
+const (
+	DeviceRead Access = 1 << iota
+	DeviceWrite
+	CPURead
+	CPUWrite
+)
+
+// Service is the SmartIO host abstraction service. One logical instance
+// spans the cluster (the real system distributes this state; the timing
+// of control-plane lookups is irrelevant to the experiments).
+type Service struct {
+	dir     *sisci.Cluster
+	devices map[DeviceID]*Device
+	nextID  DeviceID
+	refSeq  uint32
+}
+
+// NewService creates the service over the cluster directory.
+func NewService(dir *sisci.Cluster) *Service {
+	return &Service{dir: dir, devices: make(map[DeviceID]*Device)}
+}
+
+// Device is a registered PCIe device.
+type Device struct {
+	ID   DeviceID
+	Name string
+	// Host is the node the device is physically installed in.
+	Host sisci.NodeID
+	// BAR is the device's register region in its host's domain.
+	BAR pcie.Range
+
+	svc       *Service
+	barSeg    *sisci.Segment
+	exclusive bool
+	refs      int
+}
+
+// Register adds a device installed in host hostID and exports its BAR as
+// a SISCI segment so any node can map the registers.
+func (s *Service) Register(hostID sisci.NodeID, name string, bar pcie.Range) (*Device, error) {
+	node, err := s.dir.Node(hostID)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	d := &Device{ID: s.nextID, Name: name, Host: hostID, BAR: bar, svc: s}
+	seg, err := node.RegisterSegment(barSegmentBase+sisci.SegmentID(d.ID), bar.Base, bar.Size)
+	if err != nil {
+		return nil, err
+	}
+	seg.SetAvailable()
+	d.barSeg = seg
+	s.devices[d.ID] = d
+	return d, nil
+}
+
+// Discover finds a registered device by name, from anywhere in the
+// cluster.
+func (s *Service) Discover(name string) (*Device, error) {
+	for _, d := range s.devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoSuchDevice, name)
+}
+
+// Device returns a device by ID.
+func (s *Service) Device(id DeviceID) (*Device, error) {
+	d, ok := s.devices[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchDevice, id)
+	}
+	return d, nil
+}
+
+// Devices lists registered devices.
+func (s *Service) Devices() []*Device {
+	out := make([]*Device, 0, len(s.devices))
+	for id := DeviceID(1); id <= s.nextID; id++ {
+		if d, ok := s.devices[id]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Refs returns the number of live references to the device.
+func (d *Device) Refs() int { return d.refs }
+
+// Ref is an acquired reference to a device held by a borrowing node.
+type Ref struct {
+	dev  *Device
+	node *sisci.Node
+	excl bool
+
+	barRS    *sisci.RemoteSegment
+	barAddr  pcie.Addr
+	barDone  bool
+	windows  map[pcie.Addr]*dmaWindow // keyed by device-domain address
+	released bool
+	segSeq   sisci.SegmentID
+}
+
+type dmaWindow struct {
+	seg     *sisci.Segment
+	devAddr pcie.Addr
+	remote  bool // true when the window was programmed on the device host's adapter
+}
+
+// Acquire takes a reference to the device from node. An exclusive
+// reference fails if any reference exists; a shared one fails while an
+// exclusive reference is held.
+func (s *Service) Acquire(id DeviceID, node *sisci.Node, exclusive bool) (*Ref, error) {
+	d, err := s.Device(id)
+	if err != nil {
+		return nil, err
+	}
+	if exclusive && d.refs > 0 {
+		return nil, fmt.Errorf("%w: %d references held", ErrBusy, d.refs)
+	}
+	if !exclusive && d.exclusive {
+		return nil, fmt.Errorf("%w: exclusively held", ErrBusy)
+	}
+	d.refs++
+	d.exclusive = d.exclusive || exclusive
+	s.refSeq++
+	return &Ref{
+		dev:     d,
+		node:    node,
+		excl:    exclusive,
+		windows: make(map[pcie.Addr]*dmaWindow),
+		segSeq:  sisci.SegmentID(0x5100_0000) + sisci.SegmentID(s.refSeq)<<12,
+	}, nil
+}
+
+// Device returns the referenced device.
+func (r *Ref) Device() *Device { return r.dev }
+
+// Exclusive reports whether the reference is exclusive.
+func (r *Ref) Exclusive() bool { return r.excl }
+
+// Downgrade converts an exclusive reference to a shared one, letting other
+// nodes acquire the device (the manager does this after initializing the
+// controller).
+func (r *Ref) Downgrade() error {
+	if r.released {
+		return ErrReleased
+	}
+	if !r.excl {
+		return ErrNotExclusive
+	}
+	r.excl = false
+	r.dev.exclusive = false
+	return nil
+}
+
+// Release drops the reference, unmapping everything it mapped.
+func (r *Ref) Release() error {
+	if r.released {
+		return ErrReleased
+	}
+	r.released = true
+	if r.barRS != nil {
+		_ = r.barRS.Unmap()
+		r.barRS = nil
+	}
+	for addr := range r.windows {
+		_ = r.unmapWindow(addr)
+	}
+	r.dev.refs--
+	if r.excl {
+		r.dev.exclusive = false
+	}
+	return nil
+}
+
+// MapBAR maps the device's registers for the borrowing node's CPU and
+// returns the address to use from that node. For the device's own host
+// this is the BAR itself; for remote nodes an NTB window is programmed
+// through the auto-exported BAR segment.
+func (r *Ref) MapBAR() (pcie.Addr, error) {
+	if r.released {
+		return 0, ErrReleased
+	}
+	if r.barDone {
+		return r.barAddr, nil
+	}
+	if r.node.ID == r.dev.Host {
+		r.barAddr = r.dev.BAR.Base
+		r.barDone = true
+		return r.barAddr, nil
+	}
+	rs, err := r.node.ConnectSegment(r.dev.Host, barSegmentBase+sisci.SegmentID(r.dev.ID))
+	if err != nil {
+		return 0, err
+	}
+	addr, err := rs.Map()
+	if err != nil {
+		return 0, err
+	}
+	r.barRS = rs
+	r.barAddr = addr
+	r.barDone = true
+	return addr, nil
+}
+
+// MapForDevice creates a DMA window: it returns the address at which the
+// *device* can reach seg with native DMA. Segments on the device's own
+// host need no window; anything else programs the device host's adapter.
+// The caller stays agnostic of address-space layouts (§IV) — this is the
+// resolution step a driver runs before handing queue or buffer addresses
+// to the controller.
+func (r *Ref) MapForDevice(seg *sisci.Segment) (pcie.Addr, error) {
+	if r.released {
+		return 0, ErrReleased
+	}
+	if seg.Owner == r.dev.Host {
+		return seg.Addr, nil
+	}
+	devNode, err := r.node.ClusterNode(r.dev.Host)
+	if err != nil {
+		return 0, err
+	}
+	ownerNode, err := r.node.ClusterNode(seg.Owner)
+	if err != nil {
+		return 0, err
+	}
+	addr, err := devNode.Adapter().MapAuto(seg.Size, 4096,
+		ownerNode.Host().Domain(), ownerNode.Adapter().Node(), seg.Addr)
+	if err != nil {
+		return 0, err
+	}
+	r.windows[addr] = &dmaWindow{seg: seg, devAddr: addr, remote: true}
+	return addr, nil
+}
+
+// UnmapForDevice releases a DMA window returned by MapForDevice. Device-
+// local addresses (no window) are accepted and ignored.
+func (r *Ref) UnmapForDevice(devAddr pcie.Addr) error {
+	if r.released {
+		return ErrReleased
+	}
+	if _, ok := r.windows[devAddr]; !ok {
+		return nil
+	}
+	return r.unmapWindow(devAddr)
+}
+
+func (r *Ref) unmapWindow(devAddr pcie.Addr) error {
+	w := r.windows[devAddr]
+	delete(r.windows, devAddr)
+	if !w.remote {
+		return nil
+	}
+	devNode, err := r.node.ClusterNode(r.dev.Host)
+	if err != nil {
+		return err
+	}
+	return devNode.Adapter().UnmapAddr(devAddr)
+}
+
+// Windows returns the number of live DMA windows held by this reference.
+func (r *Ref) Windows() int { return len(r.windows) }
+
+// MappedSegment is a segment with both views resolved: where the borrowing
+// CPU touches it and where the device DMAs to it.
+type MappedSegment struct {
+	Seg *sisci.Segment
+	// CPUAddr is the address from the borrowing node.
+	CPUAddr pcie.Addr
+	// DevAddr is the address in the device's domain (for SQEs, PRPs,
+	// queue base registers).
+	DevAddr pcie.Addr
+	// OnDeviceHost reports where the hint placed the memory.
+	OnDeviceHost bool
+
+	rs *sisci.RemoteSegment
+}
+
+// AllocMapped allocates size bytes placed according to the access hint and
+// resolves both views. The placement rule is Figure 8's: memory the device
+// mostly reads (and the CPU only writes) belongs on the device's host so
+// command fetches stay local; memory the CPU polls (and the device only
+// writes) belongs on the borrowing host.
+func (r *Ref) AllocMapped(size uint64, hint Access) (*MappedSegment, error) {
+	onDevice := hint&DeviceRead != 0 && hint&CPURead == 0
+	return r.AllocMappedPlaced(size, onDevice)
+}
+
+// AllocMappedPlaced is AllocMapped with the placement decided by the
+// caller instead of a hint — the queue-placement ablation uses it to force
+// the non-preferred layout.
+func (r *Ref) AllocMappedPlaced(size uint64, onDevice bool) (*MappedSegment, error) {
+	if r.released {
+		return nil, ErrReleased
+	}
+	onDevice = onDevice && r.node.ID != r.dev.Host
+	r.segSeq++
+	segID := r.segSeq
+	if !onDevice {
+		seg, err := r.node.CreateSegment(segID, size)
+		if err != nil {
+			return nil, err
+		}
+		seg.SetAvailable()
+		devAddr, err := r.MapForDevice(seg)
+		if err != nil {
+			return nil, err
+		}
+		return &MappedSegment{Seg: seg, CPUAddr: seg.Addr, DevAddr: devAddr, OnDeviceHost: false}, nil
+	}
+	devNode, err := r.node.ClusterNode(r.dev.Host)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := devNode.CreateSegment(segID, size)
+	if err != nil {
+		return nil, err
+	}
+	seg.SetAvailable()
+	// The device reaches it locally; the CPU maps it over the NTB.
+	rs, err := r.node.ConnectSegment(r.dev.Host, segID)
+	if err != nil {
+		return nil, err
+	}
+	cpuAddr, err := rs.Map()
+	if err != nil {
+		return nil, err
+	}
+	return &MappedSegment{Seg: seg, CPUAddr: cpuAddr, DevAddr: seg.Addr, OnDeviceHost: true, rs: rs}, nil
+}
+
+// Free releases the mapped segment and any windows or mappings it holds.
+func (m *MappedSegment) Free(r *Ref) error {
+	if m.rs != nil {
+		_ = m.rs.Unmap()
+		m.rs = nil
+	}
+	if !m.OnDeviceHost {
+		_ = r.UnmapForDevice(m.DevAddr)
+	}
+	node, err := r.node.ClusterNode(m.Seg.Owner)
+	if err != nil {
+		return err
+	}
+	return node.RemoveSegment(m.Seg.ID)
+}

@@ -1,0 +1,281 @@
+package smartio_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/smartio"
+)
+
+// rig: 3 hosts; an NVMe-sized BAR device registered on host 0.
+type rig struct {
+	c   *cluster.Cluster
+	svc *smartio.Service
+	dev *smartio.Device
+}
+
+func newRig(t *testing.T, hosts int) *rig {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := smartio.NewService(c.Dir)
+	dev, err := svc.Register(0, "nvme0",
+		pcie.Range{Base: cluster.NVMeBARBase, Size: cluster.NVMeBARSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{c: c, svc: svc, dev: dev}
+}
+
+func TestRegisterAndDiscover(t *testing.T) {
+	r := newRig(t, 3)
+	d, err := r.svc.Discover("nvme0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != r.dev.ID || d.Host != 0 {
+		t.Fatalf("device %+v", d)
+	}
+	if _, err := r.svc.Discover("nope"); !errors.Is(err, smartio.ErrNoSuchDevice) {
+		t.Fatalf("missing device: %v", err)
+	}
+	if len(r.svc.Devices()) != 1 {
+		t.Fatal("device list wrong")
+	}
+}
+
+func TestAcquireExclusiveSemantics(t *testing.T) {
+	r := newRig(t, 3)
+	n1, n2 := r.c.Hosts[1].Node, r.c.Hosts[2].Node
+
+	ex, err := r.svc.Acquire(r.dev.ID, n1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.Acquire(r.dev.ID, n2, false); !errors.Is(err, smartio.ErrBusy) {
+		t.Fatalf("shared during exclusive: %v", err)
+	}
+	if _, err := r.svc.Acquire(r.dev.ID, n2, true); !errors.Is(err, smartio.ErrBusy) {
+		t.Fatalf("second exclusive: %v", err)
+	}
+	// Manager pattern: downgrade, then others may share.
+	if err := ex.Downgrade(); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := r.svc.Acquire(r.dev.ID, n2, false)
+	if err != nil {
+		t.Fatalf("shared after downgrade: %v", err)
+	}
+	// Exclusive now impossible while two refs exist.
+	if _, err := r.svc.Acquire(r.dev.ID, n1, true); !errors.Is(err, smartio.ErrBusy) {
+		t.Fatalf("exclusive with refs: %v", err)
+	}
+	if err := sh.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if r.dev.Refs() != 0 {
+		t.Fatalf("refs = %d after release", r.dev.Refs())
+	}
+	// Everything released: exclusive works again.
+	if _, err := r.svc.Acquire(r.dev.ID, n2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseTwice(t *testing.T) {
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+	if err := ref.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Release(); !errors.Is(err, smartio.ErrReleased) {
+		t.Fatalf("double release: %v", err)
+	}
+	if _, err := ref.MapBAR(); !errors.Is(err, smartio.ErrReleased) {
+		t.Fatalf("MapBAR after release: %v", err)
+	}
+}
+
+func TestDowngradeNonExclusive(t *testing.T) {
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+	if err := ref.Downgrade(); !errors.Is(err, smartio.ErrNotExclusive) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMapBARLocalAndRemote(t *testing.T) {
+	r := newRig(t, 2)
+	local, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[0].Node, false)
+	la, err := local.MapBAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != cluster.NVMeBARBase {
+		t.Fatalf("local BAR map %#x", la)
+	}
+	remote, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+	ra, err := remote.MapBAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == cluster.NVMeBARBase {
+		t.Fatal("remote BAR map returned raw device address")
+	}
+	// Idempotent.
+	ra2, _ := remote.MapBAR()
+	if ra2 != ra {
+		t.Fatal("second MapBAR differs")
+	}
+}
+
+func TestDMAWindowRemoteSegment(t *testing.T) {
+	// Segment on host 1 mapped for a device on host 0: the device-domain
+	// address must be an adapter window on host 0, and DMA from the
+	// device's node through it must land in host 1's memory.
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+	seg, err := r.c.Hosts[1].Node.CreateSegment(500, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.SetAvailable()
+	devAddr, err := ref.MapForDevice(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Windows() != 1 {
+		t.Fatalf("windows = %d", ref.Windows())
+	}
+	// Simulate device DMA: write from the device host's domain, from the
+	// root complex (same path length class as the NVMe endpoint).
+	h0 := r.c.Hosts[0]
+	want := []byte("dma window payload")
+	r.c.Go("devdma", func(p *sim.Proc) {
+		if err := h0.Dom.MemWrite(p, h0.RC, devAddr, want); err != nil {
+			t.Error(err)
+		}
+	})
+	r.c.Run()
+	got, _ := r.c.Hosts[1].Port.Slice(seg.Addr, uint64(len(want)))
+	if !bytes.Equal(got, want) {
+		t.Fatal("device DMA did not reach the remote segment")
+	}
+	if err := ref.UnmapForDevice(devAddr); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Windows() != 0 {
+		t.Fatal("window not removed")
+	}
+}
+
+func TestDMAWindowDeviceLocalSegmentIsDirect(t *testing.T) {
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[0].Node, false)
+	seg, _ := r.c.Hosts[0].Node.CreateSegment(501, 4096)
+	seg.SetAvailable()
+	devAddr, err := ref.MapForDevice(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devAddr != seg.Addr {
+		t.Fatalf("local segment mapped to %#x, want physical %#x", devAddr, seg.Addr)
+	}
+	if ref.Windows() != 0 {
+		t.Fatal("needless window programmed")
+	}
+	// Unmapping a non-window address is a no-op.
+	if err := ref.UnmapForDevice(devAddr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocMappedHintPlacement(t *testing.T) {
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+
+	// SQ-style: device reads, CPU writes -> device host memory (Fig. 8).
+	sq, err := ref.AllocMapped(4096, smartio.DeviceRead|smartio.CPUWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sq.OnDeviceHost {
+		t.Fatal("SQ-hinted segment not on device host")
+	}
+	if sq.DevAddr != sq.Seg.Addr {
+		t.Fatal("device view of device-host segment should be physical")
+	}
+	if sq.CPUAddr == sq.Seg.Addr {
+		t.Fatal("CPU view of remote segment should be a window")
+	}
+
+	// CQ-style: device writes, CPU reads -> borrower-local memory.
+	cq, err := ref.AllocMapped(4096, smartio.DeviceWrite|smartio.CPURead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.OnDeviceHost {
+		t.Fatal("CQ-hinted segment placed on device host")
+	}
+	if cq.CPUAddr != cq.Seg.Addr {
+		t.Fatal("CPU view of local segment should be physical")
+	}
+	if cq.DevAddr == cq.Seg.Addr {
+		t.Fatal("device view of borrower segment should be a window")
+	}
+
+	if err := sq.Free(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := cq.Free(ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocMappedOnDeviceHostBorrower(t *testing.T) {
+	// When the borrower IS the device host, everything is local whatever
+	// the hint says.
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[0].Node, false)
+	m, err := ref.AllocMapped(4096, smartio.DeviceRead|smartio.CPUWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPUAddr != m.Seg.Addr || m.DevAddr != m.Seg.Addr {
+		t.Fatal("local borrower should get physical addresses for both views")
+	}
+}
+
+func TestSQPlacementEndToEnd(t *testing.T) {
+	// Full Fig. 8 data path: client CPU (host 1) writes into the
+	// device-host-placed SQ segment through its window; the bytes land in
+	// host 0 physical memory where the controller would fetch them
+	// locally.
+	r := newRig(t, 2)
+	ref, _ := r.svc.Acquire(r.dev.ID, r.c.Hosts[1].Node, false)
+	sq, err := ref.AllocMapped(4096, smartio.DeviceRead|smartio.CPUWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := r.c.Hosts[1]
+	entry := bytes.Repeat([]byte{0xE7}, 64)
+	r.c.Go("client", func(p *sim.Proc) {
+		if err := h1.Port.Write(p, sq.CPUAddr, entry); err != nil {
+			t.Error(err)
+		}
+	})
+	r.c.Run()
+	got, _ := r.c.Hosts[0].Port.Slice(sq.Seg.Addr, 64)
+	if !bytes.Equal(got, entry) {
+		t.Fatal("SQE bytes did not land in device-host memory")
+	}
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	s := NewSample(0)
+	if s.Count() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 ||
+		s.Median() != 0 || s.StdDev() != 0 || s.Percentile(99) != 0 {
+		t.Fatal("empty sample returned non-zero statistics")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	s := NewSample(1)
+	s.Add(7)
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("P%.0f = %v, want 7", p, got)
+		}
+	}
+	if s.Mean() != 7 || s.StdDev() != 0 {
+		t.Fatalf("mean=%v stddev=%v, want 7/0", s.Mean(), s.StdDev())
+	}
+}
+
+func TestKnownPercentiles(t *testing.T) {
+	s := NewSample(5)
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		s.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50},
+		{12.5, 15}, // interpolated halfway between 10 and 20
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	s := NewSample(4)
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.Min() != 1 || s.Max() != 4 || s.Mean() != 2.5 {
+		t.Fatalf("min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestAddAfterSortedQuery(t *testing.T) {
+	s := NewSample(4)
+	s.Add(5)
+	_ = s.Min() // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatalf("Min after late Add = %v, want 1", s.Min())
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	s := NewSample(2)
+	s.Add(2)
+	s.Add(4)
+	if got := s.StdDev(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("stddev = %v, want 1", got)
+	}
+}
+
+func TestBoxplotOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Float64() * 100)
+	}
+	b := s.Box()
+	if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.P99 && b.P99 <= b.Max) {
+		t.Fatalf("boxplot not monotone: %+v", b)
+	}
+	if b.N != 1000 {
+		t.Fatalf("N = %d, want 1000", b.N)
+	}
+}
+
+func TestBoxplotString(t *testing.T) {
+	s := NewSample(1)
+	s.Add(12345) // ns
+	got := s.Box().String()
+	if got == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestAsciiBoxWidthAndMarkers(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	b := s.Box()
+	row := b.AsciiBox(0, 110, 50)
+	if len(row) != 50 {
+		t.Fatalf("width %d, want 50", len(row))
+	}
+	found := false
+	for _, c := range row {
+		if c == '#' {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("median marker missing")
+	}
+}
+
+func TestAsciiBoxDegenerateRange(t *testing.T) {
+	s := NewSample(1)
+	s.Add(5)
+	// hi <= lo must not panic.
+	_ = s.Box().AsciiBox(10, 10, 20)
+	_ = s.Box().AsciiBox(10, 5, 5)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 10 {
+			t.Fatalf("bucket %d = %d, want 10", i, h.Bucket(i))
+		}
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d, want 100", h.Count())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(10, 20, 2)
+	h.Add(5)
+	h.Add(25)
+	h.Add(20) // boundary: counts as over
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under=%d over=%d, want 1/2", under, over)
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo and n<=0 both repaired
+	h.Add(5)
+	if h.Buckets() != 1 {
+		t.Fatalf("buckets %d, want 1", h.Buckets())
+	}
+}
+
+// Property: percentile is monotone nondecreasing in p.
+func TestPropPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		pa := math.Abs(math.Mod(a, 100))
+		pb := math.Abs(math.Mod(b, 100))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min/max match a reference sort, and every percentile lies
+// within [min, max].
+func TestPropPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		clean := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		sort.Float64s(clean)
+		if s.Min() != clean[0] || s.Max() != clean[len(clean)-1] {
+			return false
+		}
+		pp := math.Abs(math.Mod(p, 100))
+		v := s.Percentile(pp)
+		return v >= s.Min() && v <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves observations: buckets + under + over = count.
+func TestPropHistogramConservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-50, 50, 7)
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			h.Add(v)
+		}
+		total := 0
+		for i := 0; i < h.Buckets(); i++ {
+			total += h.Bucket(i)
+		}
+		under, over := h.OutOfRange()
+		return total+under+over == h.Count() && h.Count() == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
