@@ -24,8 +24,13 @@ import (
 const fig10IOs = 1000
 
 func runFig10(b *testing.B, s cluster.Scenario, op fio.Op) *stats.Sample {
+	lat, _ := runFig10Stats(b, s, op)
+	return lat
+}
+
+func runFig10Stats(b *testing.B, s cluster.Scenario, op fio.Op) (*stats.Sample, cluster.SimStats) {
 	b.Helper()
-	res, err := cluster.RunJob(s, cluster.ScenarioConfig{}, fio.JobSpec{
+	res, st, err := cluster.RunJobStats(s, cluster.ScenarioConfig{}, fio.JobSpec{
 		Name: string(s), Op: op, MaxIOs: fig10IOs, WarmupIOs: 20,
 		RangeBlocks: 1 << 16, Seed: 7,
 	})
@@ -33,9 +38,21 @@ func runFig10(b *testing.B, s cluster.Scenario, op fio.Op) *stats.Sample {
 		b.Fatal(err)
 	}
 	if op == fio.RandWrite {
-		return res.WriteLat
+		return res.WriteLat, st
 	}
-	return res.ReadLat
+	return res.ReadLat, st
+}
+
+// reportWallThroughput turns accumulated kernel event counts into the
+// simulator's wall-clock performance numbers: events dispatched per real
+// second and real nanoseconds spent per simulated I/O.
+func reportWallThroughput(b *testing.B, events uint64, ios int) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 {
+		return
+	}
+	b.ReportMetric(float64(events)/sec, "events/sec")
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(ios), "ns/IO")
 }
 
 func reportLatency(b *testing.B, lat *stats.Sample) {
@@ -53,10 +70,14 @@ func BenchmarkFig10Read(b *testing.B) {
 	for _, s := range cluster.Scenarios() {
 		b.Run(string(s), func(b *testing.B) {
 			var lat *stats.Sample
+			var events uint64
 			for i := 0; i < b.N; i++ {
-				lat = runFig10(b, s, fio.RandRead)
+				var st cluster.SimStats
+				lat, st = runFig10Stats(b, s, fio.RandRead)
+				events += st.Events
 			}
 			reportLatency(b, lat)
+			reportWallThroughput(b, events, b.N*fig10IOs)
 		})
 	}
 }
@@ -66,10 +87,14 @@ func BenchmarkFig10Write(b *testing.B) {
 	for _, s := range cluster.Scenarios() {
 		b.Run(string(s), func(b *testing.B) {
 			var lat *stats.Sample
+			var events uint64
 			for i := 0; i < b.N; i++ {
-				lat = runFig10(b, s, fio.RandWrite)
+				var st cluster.SimStats
+				lat, st = runFig10Stats(b, s, fio.RandWrite)
+				events += st.Events
 			}
 			reportLatency(b, lat)
+			reportWallThroughput(b, events, b.N*fig10IOs)
 		})
 	}
 }

@@ -6,12 +6,21 @@
 // Usage:
 //
 //	sweep -what qd|hops|size|hosts [-op read|write] [-ios N]
+//	sweep -wallclock [-ios N] [-out BENCH_sim.json]
+//
+// The -wallclock mode measures the simulator itself (not the simulated
+// system): kernel events dispatched per real second and real nanoseconds
+// per simulated I/O for each Figure 9 scenario, written as JSON so the
+// perf trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -24,14 +33,20 @@ import (
 
 func main() {
 	var (
-		what = flag.String("what", "qd", "sweep: qd, hops, size, hosts")
-		op   = flag.String("op", "read", "operation: read or write")
-		ios  = flag.Int("ios", 400, "measured I/Os per point")
+		what      = flag.String("what", "qd", "sweep: qd, hops, size, hosts")
+		op        = flag.String("op", "read", "operation: read or write")
+		ios       = flag.Int("ios", 400, "measured I/Os per point")
+		wallclock = flag.Bool("wallclock", false, "measure simulator wall-clock throughput and write JSON")
+		out       = flag.String("out", "BENCH_sim.json", "output path for -wallclock JSON")
 	)
 	flag.Parse()
 	fop := fio.RandRead
 	if *op == "write" {
 		fop = fio.RandWrite
+	}
+	if *wallclock {
+		sweepWallclock(fop, *ios, *out)
+		return
 	}
 	switch *what {
 	case "qd":
@@ -46,6 +61,83 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: unknown -what %q\n", *what)
 		os.Exit(2)
 	}
+}
+
+// wallclockRun is one measured scenario run in BENCH_sim.json.
+type wallclockRun struct {
+	Scenario     string  `json:"scenario"`
+	Op           string  `json:"op"`
+	QueueDepth   int     `json:"queue_depth"`
+	IOs          int     `json:"ios"`
+	Events       uint64  `json:"events"`
+	WallNs       int64   `json:"wall_ns"`
+	VirtualNs    int64   `json:"virtual_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerIO      float64 `json:"ns_per_io"`
+}
+
+type wallclockReport struct {
+	GeneratedUnix int64          `json:"generated_unix"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	Runs          []wallclockRun `json:"runs"`
+}
+
+// sweepWallclock measures simulator throughput per scenario at QD1 and
+// QD8 and writes the JSON report.
+func sweepWallclock(op fio.Op, ios int, out string) {
+	if ios <= 0 {
+		fatal(fmt.Errorf("-wallclock needs -ios > 0 (got %d)", ios))
+	}
+	opName := "read"
+	if op == fio.RandWrite {
+		opName = "write"
+	}
+	rep := wallclockReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, s := range cluster.Scenarios() {
+		for _, qd := range []int{1, 8} {
+			spec := fio.JobSpec{
+				Name: "wallclock", Op: op, QueueDepth: qd,
+				MaxIOs: ios, WarmupIOs: 20, RangeBlocks: 1 << 16, Seed: 7,
+			}
+			// One untimed run to warm code paths, then the measured run.
+			if _, _, err := cluster.RunJobStats(s, cluster.ScenarioConfig{}, spec); err != nil {
+				fatal(err)
+			}
+			start := time.Now()
+			_, st, err := cluster.RunJobStats(s, cluster.ScenarioConfig{}, spec)
+			if err != nil {
+				fatal(err)
+			}
+			wall := time.Since(start)
+			run := wallclockRun{
+				Scenario:   string(s),
+				Op:         opName,
+				QueueDepth: qd,
+				IOs:        ios,
+				Events:     st.Events,
+				WallNs:     wall.Nanoseconds(),
+				VirtualNs:  st.VirtualNs,
+				EventsPerSec: float64(st.Events) /
+					wall.Seconds(),
+				NsPerIO: float64(wall.Nanoseconds()) / float64(ios),
+			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Printf("%-14s qd=%d  %9d events  %8.0f events/sec  %8.0f ns/IO\n",
+				s, qd, run.Events, run.EventsPerSec, run.NsPerIO)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func fatal(err error) {

@@ -178,11 +178,36 @@ func RunWorkload(s Scenario, cfg ScenarioConfig, fn func(p *sim.Proc, env *Env) 
 
 // RunJob builds scenario s and runs one fio job on it.
 func RunJob(s Scenario, cfg ScenarioConfig, spec fio.JobSpec) (*fio.Result, error) {
-	var res *fio.Result
-	err := RunWorkload(s, cfg, func(p *sim.Proc, env *Env) error {
-		var err error
-		res, err = fio.Run(p, env.Queue, spec)
-		return err
-	})
+	res, _, err := RunJobStats(s, cfg, spec)
 	return res, err
+}
+
+// SimStats summarizes the kernel work behind a completed scenario run,
+// for wall-clock throughput metrics (events/sec, ns per simulated I/O).
+type SimStats struct {
+	// Events is the number of kernel events dispatched.
+	Events uint64
+	// VirtualNs is the final virtual clock value.
+	VirtualNs sim.Time
+}
+
+// RunJobStats is RunJob plus kernel statistics from the run.
+func RunJobStats(s Scenario, cfg ScenarioConfig, spec fio.JobSpec) (*fio.Result, SimStats, error) {
+	c, ctrl, err := Build(s, cfg)
+	if err != nil {
+		return nil, SimStats{}, err
+	}
+	var res *fio.Result
+	var runErr error
+	c.Go(string(s), func(p *sim.Proc) {
+		q, cl, err := bringUp(p, s, c, ctrl, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		env := &Env{Scenario: s, Cluster: c, Ctrl: ctrl, Queue: q, Client: cl}
+		res, runErr = fio.Run(p, env.Queue, spec)
+	})
+	c.Run()
+	return res, SimStats{Events: c.K.Executed(), VirtualNs: c.K.Now()}, runErr
 }

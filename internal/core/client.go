@@ -309,6 +309,12 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 		c.bar+nvme.SQTailDoorbell(grant.QID, grant.DSTRD),
 		c.bar+nvme.CQHeadDoorbell(grant.QID, grant.DSTRD))
 	c.view.EnableLocking(node.Host().Domain().Kernel())
+	// At QD>1, burst submitters coalesce the SQ tail doorbell (one NTB
+	// MMIO write per burst) and the poller rings the CQ head once per
+	// sweep instead of per entry — both doorbells cross the fabric here,
+	// so coalescing removes remote posted writes from the hot path.
+	c.view.CoalesceSQ = true
+	c.view.LazyCQ = true
 
 	c.slotFree = sim.NewSemaphore(node.Host().Domain().Kernel(), slots)
 	c.slots = make([]bool, slots)
@@ -385,6 +391,12 @@ func (c *Client) poller(p *sim.Proc) {
 			return
 		}
 		if !ok {
+			// Sweep done: commit the CQ head doorbell for everything
+			// consumed before blocking (the controller stalls on a
+			// full-looking CQ otherwise).
+			if err := c.view.FlushCQ(p, c.node.Host()); err != nil {
+				return
+			}
 			p.WaitSignal(c.cqSignal)
 			if c.params.UseInterrupts {
 				p.Sleep(c.params.IRQEntryNs)

@@ -193,6 +193,11 @@ func (d *Driver) createQueue(p *sim.Proc, qid uint16, ctrl *nvme.Controller) (*i
 		id:   qid,
 	}
 	q.view.EnableLocking(d.kernel)
+	// blk-mq-style batching: the last submitter of a contended burst
+	// commits the SQ tail once, and the ISR's CQ sweep acknowledges all
+	// reaped entries with a single head doorbell.
+	q.view.CoalesceSQ = true
+	q.view.LazyCQ = true
 	q.ctxs = make([]*cmdCtx, depth)
 	for i := range q.ctxs {
 		ctx := &cmdCtx{}
@@ -234,6 +239,11 @@ func (q *ioQueue) isr(p *sim.Proc) {
 				ctx.status = cqe.Status()
 				ctx.done.Trigger(nil)
 			}
+		}
+		// One head doorbell for the whole sweep, before waiting for the
+		// next interrupt.
+		if err := q.view.FlushCQ(p, q.drv.host); err != nil {
+			return
 		}
 	}
 }

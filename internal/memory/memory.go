@@ -32,6 +32,10 @@ type Memory struct {
 	allocated map[Addr]uint64
 	// free list of [start, end) holes, sorted by start.
 	holes []hole
+	// touched is the high-water offset (exclusive, relative to base) of
+	// bytes that may have been written. Everything at or beyond it is
+	// still runtime-zeroed from make, so AllocZeroed can skip it.
+	touched uint64
 }
 
 type hole struct{ start, end Addr }
@@ -73,6 +77,9 @@ func (m *Memory) Write(addr Addr, data []byte) error {
 		return fmt.Errorf("%w: write [%#x,+%d)", ErrOutOfRange, addr, len(data))
 	}
 	copy(m.data[addr-m.base:], data)
+	if end := addr - m.base + uint64(len(data)); end > m.touched {
+		m.touched = end
+	}
 	return nil
 }
 
@@ -84,6 +91,11 @@ func (m *Memory) Slice(addr Addr, n uint64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: slice [%#x,+%d)", ErrOutOfRange, addr, n)
 	}
 	off := addr - m.base
+	// The caller may write through the slice; conservatively raise the
+	// high-water mark.
+	if off+n > m.touched {
+		m.touched = off + n
+	}
 	return m.data[off : off+n : off+n], nil
 }
 
@@ -124,15 +136,17 @@ func (m *Memory) Alloc(size, align uint64) (Addr, error) {
 }
 
 // AllocZeroed is Alloc followed by zero-filling the segment; allocations
-// may land on previously freed, dirty bytes.
+// may land on previously freed, dirty bytes. Only the part of the segment
+// below the touched high-water mark needs clearing — the rest has never
+// been written and is still zero from make.
 func (m *Memory) AllocZeroed(size, align uint64) (Addr, error) {
 	a, err := m.Alloc(size, align)
 	if err != nil {
 		return 0, err
 	}
-	b, _ := m.Slice(a, size)
-	for i := range b {
-		b[i] = 0
+	off := a - m.base
+	if zend := min(off+size, m.touched); zend > off {
+		clear(m.data[off:zend])
 	}
 	return a, nil
 }

@@ -42,6 +42,10 @@ func NewPolledQueue(name string, host *pcie.HostPort, view *QueueView, pollCheck
 		pending:     make(map[uint16]*polledPending),
 		sig:         sim.NewSignal(host.Domain().Kernel()),
 	}
+	// SPDK-style batching: burst submitters ring the SQ tail once, and the
+	// poll sweep rings the CQ head once per wakeup.
+	view.CoalesceSQ = true
+	view.LazyCQ = true
 	q.unwatch = host.Watch(r, func(pcie.Addr, int) { q.sig.Set() })
 	host.Domain().Kernel().Spawn(name+"/poll", q.poll)
 	return q, nil
@@ -57,6 +61,12 @@ func (q *PolledQueue) poll(p *sim.Proc) {
 			return
 		}
 		if !ok {
+			// End of sweep: commit the consumed entries' head doorbell
+			// before blocking, or the controller may stall on a CQ it
+			// believes is full.
+			if err := q.View.FlushCQ(p, q.host); err != nil {
+				return
+			}
 			p.WaitSignal(q.sig)
 			p.Sleep(q.PollCheckNs)
 			continue

@@ -25,9 +25,29 @@ type QueueView struct {
 	SQDoorbell pcie.Addr
 	CQDoorbell pcie.Addr
 
-	sqTail int
-	cqHead int
-	phase  bool
+	// CoalesceSQ defers the SQ tail doorbell while other submitters are
+	// queued on the lock: the last submitter of a burst rings once with
+	// the cumulative tail, like blk-mq's commit_rqs/bd->last batching.
+	// Requires EnableLocking; with a single submitter (QD1) no waiter is
+	// ever present, so behavior is identical to per-command ringing.
+	CoalesceSQ bool
+	// LazyCQ defers the CQ head doorbell from Poll to FlushCQ, so one
+	// poll sweep rings once for all entries it consumed (the SPDK
+	// adminq/io-qpair strategy). Pollers must FlushCQ before blocking:
+	// the controller stalls completion DMA while its view of the CQ is
+	// full, and only a head doorbell unsticks it.
+	LazyCQ bool
+
+	// SQDoorbells and CQDoorbells count actual doorbell MMIO writes, for
+	// observing coalescing ratios in tests and benchmarks.
+	SQDoorbells uint64
+	CQDoorbells uint64
+
+	sqTail     int
+	sqDeferred bool // tail advanced past the last rung doorbell
+	cqHead     int
+	cqUnrung   int // entries consumed since the last CQ doorbell
+	phase      bool
 	// inflight counts submitted-but-not-completed commands.
 	inflight int
 	nextCID  uint16
@@ -76,6 +96,11 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 		defer q.lock.Release()
 	}
 	if q.Full() {
+		// Ring any deferred tail before bailing: the entries behind it
+		// must reach the controller for the queue to ever drain.
+		if q.sqDeferred {
+			q.Ring(p, h)
+		}
 		return fmt.Errorf("nvme: queue %d full", q.ID)
 	}
 	slot := q.sqTail
@@ -84,14 +109,21 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 	if err := h.Write(p, q.SQAddr+pcie.Addr(slot*SQESize), cmd.Marshal()); err != nil {
 		return err
 	}
-	var db [4]byte
-	binary.LittleEndian.PutUint32(db[:], uint32(q.sqTail))
-	return h.Write(p, q.SQDoorbell, db[:])
+	if q.CoalesceSQ && q.lock != nil && q.lock.Waiters() > 0 {
+		// Another submitter is already blocked on the lock; let it carry
+		// (or further defer) the doorbell for this entry too.
+		q.sqDeferred = true
+		return nil
+	}
+	return q.Ring(p, h)
 }
 
-// Ring re-rings the SQ doorbell with the current tail (used after batched
-// SQE writes).
+// Ring rings the SQ doorbell with the current tail, committing any
+// deferred submissions (used after batched SQE writes and by the last
+// submitter of a coalesced burst).
 func (q *QueueView) Ring(p *sim.Proc, h *pcie.HostPort) error {
+	q.sqDeferred = false
+	q.SQDoorbells++
 	var db [4]byte
 	binary.LittleEndian.PutUint32(db[:], uint32(q.sqTail))
 	return h.Write(p, q.SQDoorbell, db[:])
@@ -116,12 +148,31 @@ func (q *QueueView) Poll(p *sim.Proc, h *pcie.HostPort) (CQE, bool, error) {
 		q.phase = !q.phase
 	}
 	q.inflight--
+	if q.LazyCQ {
+		q.cqUnrung++
+		return cqe, true, nil
+	}
+	q.CQDoorbells++
 	var db [4]byte
 	binary.LittleEndian.PutUint32(db[:], uint32(q.cqHead))
 	if err := h.Write(p, q.CQDoorbell, db[:]); err != nil {
 		return CQE{}, false, err
 	}
 	return cqe, true, nil
+}
+
+// FlushCQ rings the CQ head doorbell once for all entries consumed since
+// the last flush. No-op when nothing is pending. LazyCQ pollers must call
+// it at the end of each sweep, before blocking.
+func (q *QueueView) FlushCQ(p *sim.Proc, h *pcie.HostPort) error {
+	if q.cqUnrung == 0 {
+		return nil
+	}
+	q.cqUnrung = 0
+	q.CQDoorbells++
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(q.cqHead))
+	return h.Write(p, q.CQDoorbell, db[:])
 }
 
 // CQRange returns the address range of the CQ ring (for Watch).

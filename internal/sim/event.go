@@ -31,20 +31,10 @@ func (e *Event) Trigger(v any) {
 	e.triggered = true
 	e.payload = v
 	for _, p := range e.waiters {
-		e.wakeWaiter(p)
+		e.k.unpark(p)
+		e.k.scheduleProc(e.k.now, p)
 	}
 	e.waiters = nil
-}
-
-func (e *Event) wakeWaiter(p *Proc) {
-	e.k.unpark(p)
-	e.k.schedule(e.k.now, func() {
-		if p.dead {
-			return
-		}
-		p.resume <- struct{}{}
-		<-e.k.ack
-	})
 }
 
 // WaitAll blocks until every event has triggered.
@@ -67,6 +57,10 @@ func (p *Proc) Wait(e *Event) any {
 
 // WaitTimeout blocks until the event triggers or d elapses. It returns the
 // payload and true on trigger, or nil and false on timeout.
+//
+// If the trigger and the timeout land on the same virtual timestamp, the
+// one dispatched first wins; the loser's wakeup is discarded by the
+// process-epoch guard rather than spuriously resuming the process later.
 func (p *Proc) WaitTimeout(e *Event, d Duration) (any, bool) {
 	if e.triggered {
 		return e.payload, true
@@ -74,12 +68,12 @@ func (p *Proc) WaitTimeout(e *Event, d Duration) (any, bool) {
 	if d <= 0 {
 		return nil, false
 	}
-	timer := p.wakeAt(p.k.now + d)
+	tm := p.wakeAt(p.k.now + d)
 	e.waiters = append(e.waiters, p)
 	p.k.park(p)
 	p.yield()
 	if e.triggered {
-		p.k.cancel(timer)
+		p.k.cancel(tm)
 		return e.payload, true
 	}
 	// Timed out: remove ourselves from the waiter list.
@@ -113,18 +107,14 @@ func (s *Signal) Sets() uint64 { return s.sets }
 func (s *Signal) Set() {
 	s.sets++
 	ws := s.waiters
-	s.waiters = nil
 	for _, p := range ws {
-		proc := p
-		s.k.unpark(proc)
-		s.k.schedule(s.k.now, func() {
-			if proc.dead {
-				return
-			}
-			proc.resume <- struct{}{}
-			<-s.k.ack
-		})
+		s.k.unpark(p)
+		s.k.scheduleProc(s.k.now, p)
 	}
+	// Set runs atomically (no process executes mid-loop), so the backing
+	// array can be reused for the next round of waiters.
+	clear(ws)
+	s.waiters = ws[:0]
 }
 
 // WaitSignal blocks until the next Set.
@@ -141,12 +131,12 @@ func (p *Proc) WaitSignalTimeout(s *Signal, d Duration) bool {
 		return false
 	}
 	before := s.sets
-	timer := p.wakeAt(p.k.now + d)
+	tm := p.wakeAt(p.k.now + d)
 	s.waiters = append(s.waiters, p)
 	p.k.park(p)
 	p.yield()
 	if s.sets != before {
-		p.k.cancel(timer)
+		p.k.cancel(tm)
 		return true
 	}
 	for i, w := range s.waiters {

@@ -67,9 +67,10 @@ func (p *Proc) PopTimeout(q *Queue, d Duration) (any, bool) {
 // Semaphore is a counting semaphore for modeling limited resources such as
 // flash channels or DMA engines.
 type Semaphore struct {
-	k     *Kernel
-	avail int
-	sig   *Signal
+	k       *Kernel
+	avail   int
+	waiting int
+	sig     *Signal
 }
 
 // NewSemaphore creates a semaphore with n initial permits.
@@ -80,10 +81,18 @@ func NewSemaphore(k *Kernel, n int) *Semaphore {
 // Available returns the current number of permits.
 func (s *Semaphore) Available() int { return s.avail }
 
+// Waiters returns the number of processes currently blocked in Acquire.
+// Holders of the semaphore use this to detect contention — e.g. a queue
+// submitter deciding whether to coalesce its doorbell write with the
+// next submitter's.
+func (s *Semaphore) Waiters() int { return s.waiting }
+
 // Acquire blocks the process until a permit is available and takes it.
 func (p *Proc) Acquire(s *Semaphore) {
 	for s.avail <= 0 {
+		s.waiting++
 		p.WaitSignal(s.sig)
+		s.waiting--
 	}
 	s.avail--
 }
