@@ -7,11 +7,18 @@
 //
 //	sweep -what qd|hops|size|hosts [-op read|write] [-ios N]
 //	sweep -wallclock [-ios N] [-out BENCH_sim.json]
+//	sweep -trace out.json [-scenario ours-remote] [-qd 4] [-op read|write] [-ios N]
 //
 // The -wallclock mode measures the simulator itself (not the simulated
 // system): kernel events dispatched per real second and real nanoseconds
 // per simulated I/O for each Figure 9 scenario, written as JSON so the
 // perf trajectory is tracked across PRs.
+//
+// The -trace mode runs one scenario with per-IO tracing on and writes a
+// Chrome trace-event JSON file (loadable at ui.perfetto.dev), plus a
+// per-stage latency-breakdown table on stdout. The file is a pure
+// function of the scenario and seed: the same invocation produces
+// byte-identical output.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/smartio"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,11 +46,18 @@ func main() {
 		ios       = flag.Int("ios", 400, "measured I/Os per point")
 		wallclock = flag.Bool("wallclock", false, "measure simulator wall-clock throughput and write JSON")
 		out       = flag.String("out", "BENCH_sim.json", "output path for -wallclock JSON")
+		traceOut  = flag.String("trace", "", "run one traced scenario and write Chrome trace-event JSON to this path")
+		scenario  = flag.String("scenario", "ours-remote", "scenario for -trace")
+		qd        = flag.Int("qd", 4, "queue depth for -trace")
 	)
 	flag.Parse()
 	fop := fio.RandRead
 	if *op == "write" {
 		fop = fio.RandWrite
+	}
+	if *traceOut != "" {
+		runTrace(*scenario, fop, *op, *qd, *ios, *traceOut)
+		return
 	}
 	if *wallclock {
 		sweepWallclock(fop, *ios, *out)
@@ -63,6 +78,67 @@ func main() {
 	}
 }
 
+// runTrace executes one scenario with tracing enabled and writes the
+// Chrome trace-event file, validating it and printing the per-stage
+// latency breakdown. Deterministic: no wall-clock data enters the file.
+func runTrace(scenario string, op fio.Op, opName string, qd, ios int, out string) {
+	s := cluster.Scenario(scenario)
+	known := false
+	for _, k := range cluster.Scenarios() {
+		if k == s {
+			known = true
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("-trace: unknown scenario %q", scenario))
+	}
+	tr := trace.New()
+	spec := fio.JobSpec{
+		Name: "trace", Op: op, QueueDepth: qd,
+		MaxIOs: ios, WarmupIOs: 0, RangeBlocks: 1 << 16, Seed: 7,
+	}
+	res, st, err := cluster.RunJobStats(s, cluster.ScenarioConfig{Tracer: tr}, spec)
+	if err != nil {
+		fatal(err)
+	}
+	spans := tr.Spans()
+	meta := map[string]string{
+		"scenario":    string(s),
+		"op":          opName,
+		"queue_depth": fmt.Sprint(qd),
+		"ios":         fmt.Sprint(res.IOs),
+		"events":      fmt.Sprint(st.Events),
+		"virtual_ns":  fmt.Sprint(int64(st.VirtualNs)),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteChrome(f, spans, meta); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := trace.ValidateChrome(data)
+	if err != nil {
+		fatal(err)
+	}
+	bd := trace.ComputeBreakdown(spans)
+	fmt.Printf("%s qd=%d: %d spans, %d trace events -> %s\n\n", s, qd, bd.Spans, events, out)
+	fmt.Print(bd.Table())
+	sum, e2e := bd.ReconcileNs()
+	if sum != e2e {
+		fatal(fmt.Errorf("stage sum %d ns != end-to-end %d ns", sum, e2e))
+	}
+	fmt.Printf("\nreconciled: stage sum == end-to-end == %d ns\n", e2e)
+}
+
 // wallclockRun is one measured scenario run in BENCH_sim.json.
 type wallclockRun struct {
 	Scenario     string  `json:"scenario"`
@@ -76,10 +152,39 @@ type wallclockRun struct {
 	NsPerIO      float64 `json:"ns_per_io"`
 }
 
+// benchSchemaVersion stamps BENCH_sim.json so downstream tooling can
+// detect layout changes. Bump when fields are added, removed or change
+// meaning.
+const benchSchemaVersion = 2
+
+// sweepConfig echoes the scenario configuration a report was produced
+// with, so a BENCH_sim.json is self-describing.
+type sweepConfig struct {
+	Op          string   `json:"op"`
+	IOs         int      `json:"ios"`
+	QueueDepths []int    `json:"queue_depths"`
+	WarmupIOs   int      `json:"warmup_ios"`
+	RangeBlocks int      `json:"range_blocks"`
+	Seed        int64    `json:"seed"`
+	Scenarios   []string `json:"scenarios"`
+}
+
+// scenarioBreakdown is one scenario's per-stage latency decomposition
+// and metrics snapshot from a short traced run.
+type scenarioBreakdown struct {
+	Scenario   string              `json:"scenario"`
+	QueueDepth int                 `json:"queue_depth"`
+	Breakdown  trace.Breakdown     `json:"breakdown"`
+	Metrics    []trace.MetricValue `json:"metrics"`
+}
+
 type wallclockReport struct {
-	GeneratedUnix int64          `json:"generated_unix"`
-	GoMaxProcs    int            `json:"gomaxprocs"`
-	Runs          []wallclockRun `json:"runs"`
+	SchemaVersion int                 `json:"schema_version"`
+	GeneratedUnix int64               `json:"generated_unix"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	Config        sweepConfig         `json:"config"`
+	Runs          []wallclockRun      `json:"runs"`
+	Breakdowns    []scenarioBreakdown `json:"breakdowns"`
 }
 
 // sweepWallclock measures simulator throughput per scenario at QD1 and
@@ -92,9 +197,19 @@ func sweepWallclock(op fio.Op, ios int, out string) {
 	if op == fio.RandWrite {
 		opName = "write"
 	}
+	var names []string
+	for _, s := range cluster.Scenarios() {
+		names = append(names, string(s))
+	}
 	rep := wallclockReport{
+		SchemaVersion: benchSchemaVersion,
 		GeneratedUnix: time.Now().Unix(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Config: sweepConfig{
+			Op: opName, IOs: ios, QueueDepths: []int{1, 8},
+			WarmupIOs: 20, RangeBlocks: 1 << 16, Seed: 7,
+			Scenarios: names,
+		},
 	}
 	for _, s := range cluster.Scenarios() {
 		for _, qd := range []int{1, 8} {
@@ -129,6 +244,20 @@ func sweepWallclock(op fio.Op, ios int, out string) {
 				s, qd, run.Events, run.EventsPerSec, run.NsPerIO)
 		}
 	}
+	// A short traced run per scenario yields the latency-breakdown table
+	// and a cluster metrics snapshot; virtual-time results are unaffected
+	// by tracing, so these describe the same system the runs above timed.
+	bdIOs := ios
+	if bdIOs > 200 {
+		bdIOs = 200
+	}
+	for _, s := range cluster.Scenarios() {
+		bd, err := tracedBreakdown(s, op, 8, bdIOs)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Breakdowns = append(rep.Breakdowns, bd)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -138,6 +267,31 @@ func sweepWallclock(op fio.Op, ios int, out string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", out)
+}
+
+// tracedBreakdown runs scenario s once with tracing and a wired metrics
+// registry, returning its stage decomposition and metrics snapshot.
+func tracedBreakdown(s cluster.Scenario, op fio.Op, qd, ios int) (scenarioBreakdown, error) {
+	tr := trace.New()
+	reg := trace.NewRegistry()
+	spec := fio.JobSpec{
+		Name: "breakdown", Op: op, QueueDepth: qd,
+		MaxIOs: ios, WarmupIOs: 0, RangeBlocks: 1 << 16, Seed: 7,
+	}
+	err := cluster.RunWorkload(s, cluster.ScenarioConfig{Tracer: tr}, func(p *sim.Proc, env *cluster.Env) error {
+		env.WireMetrics(reg)
+		_, err := fio.Run(p, env.Queue, spec)
+		return err
+	})
+	if err != nil {
+		return scenarioBreakdown{}, err
+	}
+	return scenarioBreakdown{
+		Scenario:   string(s),
+		QueueDepth: qd,
+		Breakdown:  trace.ComputeBreakdown(tr.Spans()),
+		Metrics:    reg.Snapshot(),
+	}, nil
 }
 
 func fatal(err error) {

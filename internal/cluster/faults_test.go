@@ -22,11 +22,12 @@ func TestMediaErrorPropagation(t *testing.T) {
 			flash := ctrl.Medium().(*nvme.FlashMedium)
 			var readErr, writeErr, recovered error
 			c.Go(string(s), func(p *sim.Proc) {
-				q, _, err := bringUp(p, s, c, ctrl, ScenarioConfig{})
+				env, err := bringUp(p, s, c, ctrl, ScenarioConfig{})
 				if err != nil {
 					t.Errorf("bringup: %v", err)
 					return
 				}
+				q := env.Queue
 				buf := make([]byte, 4096)
 				// Prime one good write so reads have a target.
 				if err := q.SubmitAndWait(p, block.OpWrite, 0, 8, buf); err != nil {

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// WireMetrics registers gauge callbacks over every layer of the
+// assembled scenario into reg: sim-kernel event accounting, per-host
+// PCIe TLP routing, NTB adapter LUT activity, controller command/doorbell
+// counters, and the driver-stack counters of whichever stack the
+// scenario built. Layers keep plain counter fields; the registry reads
+// them at snapshot time, so wiring costs nothing during the run.
+//
+// Gauges are registered in a fixed order (kernel, hosts, controller,
+// driver stack) so Snapshot output is deterministic.
+func (e *Env) WireMetrics(reg *trace.Registry) {
+	k := e.Cluster.K
+	reg.GaugeFunc("sim.events_executed", func() float64 { return float64(k.Stats().Executed) })
+	reg.GaugeFunc("sim.events_scheduled", func() float64 { return float64(k.Stats().Scheduled) })
+	reg.GaugeFunc("sim.events_run_queued", func() float64 { return float64(k.Stats().RunQueued) })
+	reg.GaugeFunc("sim.pool_misses", func() float64 { return float64(k.Stats().PoolMisses) })
+	reg.GaugeFunc("sim.inline_sleeps", func() float64 { return float64(k.Stats().InlineSleeps) })
+
+	for _, h := range e.Cluster.Hosts {
+		dom := h.Dom
+		pre := fmt.Sprintf("pcie.host%d.", h.Index)
+		reg.GaugeFunc(pre+"posted_writes", func() float64 { return float64(dom.Stats().PostedWrites) })
+		reg.GaugeFunc(pre+"mmio_writes", func() float64 { return float64(dom.Stats().MMIOWrites) })
+		reg.GaugeFunc(pre+"reads", func() float64 { return float64(dom.Stats().Reads) })
+		reg.GaugeFunc(pre+"bytes_written", func() float64 { return float64(dom.Stats().BytesWritten) })
+		reg.GaugeFunc(pre+"bytes_read", func() float64 { return float64(dom.Stats().BytesRead) })
+		reg.GaugeFunc(pre+"crossings", func() float64 { return float64(dom.Stats().Crossings) })
+		ad := h.Adapter
+		pre = fmt.Sprintf("ntb.host%d.", h.Index)
+		reg.GaugeFunc(pre+"translations", func() float64 { return float64(ad.Translations) })
+		reg.GaugeFunc(pre+"windows_programmed", func() float64 { return float64(ad.Programmed) })
+		reg.GaugeFunc(pre+"windows_live", func() float64 { return float64(ad.Windows()) })
+	}
+
+	ctrl := e.Ctrl
+	reg.GaugeFunc("nvme.ctrl.read_cmds", func() float64 { return float64(ctrl.Stats.ReadCmds) })
+	reg.GaugeFunc("nvme.ctrl.write_cmds", func() float64 { return float64(ctrl.Stats.WriteCmds) })
+	reg.GaugeFunc("nvme.ctrl.flush_cmds", func() float64 { return float64(ctrl.Stats.FlushCmds) })
+	reg.GaugeFunc("nvme.ctrl.admin_cmds", func() float64 { return float64(ctrl.Stats.AdminCmds) })
+	reg.GaugeFunc("nvme.ctrl.error_cmds", func() float64 { return float64(ctrl.Stats.ErrorCmds) })
+	reg.GaugeFunc("nvme.ctrl.fetches", func() float64 { return float64(ctrl.Stats.Fetches) })
+	reg.GaugeFunc("nvme.ctrl.completions", func() float64 { return float64(ctrl.Stats.Completions) })
+	reg.GaugeFunc("nvme.ctrl.interrupts", func() float64 { return float64(ctrl.Stats.Interrupts) })
+	reg.GaugeFunc("nvme.ctrl.sq_doorbell_writes", func() float64 { return float64(ctrl.Stats.SQDoorbellWrites) })
+	reg.GaugeFunc("nvme.ctrl.cq_doorbell_writes", func() float64 { return float64(ctrl.Stats.CQDoorbellWrites) })
+
+	if cl := e.Client; cl != nil {
+		reg.GaugeFunc("core.client.reads", func() float64 { return float64(cl.Reads) })
+		reg.GaugeFunc("core.client.writes", func() float64 { return float64(cl.Writes) })
+		reg.GaugeFunc("core.client.polls", func() float64 { return float64(cl.Polls) })
+		reg.GaugeFunc("core.client.bounce_bytes", func() float64 { return float64(cl.BounceBytes) })
+		qv := cl.QueueView()
+		reg.GaugeFunc("core.client.sq_doorbells", func() float64 { return float64(qv.SQDoorbells) })
+		reg.GaugeFunc("core.client.sq_doorbells_saved", func() float64 { return float64(qv.SQDoorbellsSaved) })
+		reg.GaugeFunc("core.client.cq_doorbells", func() float64 { return float64(qv.CQDoorbells) })
+		reg.GaugeFunc("core.client.cq_rings_saved", func() float64 { return float64(qv.CQRingsSaved) })
+		reg.GaugeFunc("core.client.inflight", func() float64 { return float64(qv.Inflight()) })
+	}
+	if tgt := e.Target; tgt != nil {
+		reg.GaugeFunc("nvmeof.target.polls", func() float64 { return float64(tgt.Polls) })
+		reg.GaugeFunc("nvmeof.target.staged_bytes", func() float64 { return float64(tgt.StagedBytes) })
+		reg.GaugeFunc("nvmeof.target.cpu_busy_ns", func() float64 { return float64(tgt.CPUBusyNs) })
+	}
+	if ini := e.Initiator; ini != nil {
+		reg.GaugeFunc("nvmeof.initiator.reads", func() float64 { return float64(ini.Reads) })
+		reg.GaugeFunc("nvmeof.initiator.writes", func() float64 { return float64(ini.Writes) })
+		reg.GaugeFunc("nvmeof.initiator.submissions", func() float64 { return float64(ini.Submissions) })
+	}
+}

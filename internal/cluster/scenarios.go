@@ -13,6 +13,7 @@ import (
 	"repro/internal/rdma"
 	"repro/internal/sim"
 	"repro/internal/smartio"
+	"repro/internal/trace"
 )
 
 // Scenario names the four benchmark configurations of the paper's
@@ -57,6 +58,10 @@ type ScenarioConfig struct {
 	Initiator nvmeof.InitiatorParams
 	// BlockQueue tunes the block layer shared by every scenario.
 	BlockQueue block.QueueParams
+	// Tracer, when non-nil, is threaded through the controller and the
+	// scenario's driver stack so every I/O leaves a per-hop span. Traced
+	// runs must produce identical virtual-time results to untraced ones.
+	Tracer *trace.Tracer
 }
 
 // Env is an assembled scenario: a block queue backed by the scenario's
@@ -69,6 +74,11 @@ type Env struct {
 	// Client is the distributed-driver client for the ours-* scenarios
 	// (nil otherwise); exposes phase instrumentation.
 	Client *core.Client
+	// Driver is the stock local driver (linux-local only).
+	Driver *hostdriver.Driver
+	// Target and Initiator are the NVMe-oF pair (nvmeof-remote only).
+	Target    *nvmeof.Target
+	Initiator *nvmeof.Initiator
 }
 
 // Build creates the cluster for scenario s (but no drivers yet).
@@ -93,29 +103,38 @@ func Build(s Scenario, cfg ScenarioConfig) (*Cluster, *nvme.Controller, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	ctrl.SetTracer(cfg.Tracer)
 	return c, ctrl, nil
 }
 
 // bringUp constructs the scenario's driver stack inside process p and
 // returns the block queue.
-func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg ScenarioConfig) (*block.Queue, *core.Client, error) {
+func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg ScenarioConfig) (*Env, error) {
+	if cfg.Tracer != nil {
+		cfg.HostDriver.Tracer = cfg.Tracer
+		cfg.Client.Tracer = cfg.Tracer
+		cfg.Initiator.Tracer = cfg.Tracer
+	}
+	env := &Env{Scenario: s, Cluster: c, Ctrl: ctrl}
 	switch s {
 	case LinuxLocal:
 		drv, err := hostdriver.New(p, "nvme0n1", c.Hosts[0].Port, NVMeBARBase, ctrl, cfg.HostDriver)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return block.NewQueue(c.K, drv, cfg.BlockQueue), nil, nil
+		env.Driver = drv
+		env.Queue = block.NewQueue(c.K, drv, cfg.BlockQueue)
+		return env, nil
 
 	case OursLocal, OursRemote:
 		svc := smartio.NewService(c.Dir)
 		dev, err := svc.Register(0, "nvme0", pcie.Range{Base: NVMeBARBase, Size: NVMeBARSize})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, cfg.Manager)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		clientHost := 0
 		if s == OursRemote {
@@ -123,9 +142,11 @@ func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg Sce
 		}
 		cl, err := core.NewClient(p, "dnvme0", svc, c.Hosts[clientHost].Node, mgr, cfg.Client)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return block.NewQueue(c.K, cl, cfg.BlockQueue), cl, nil
+		env.Client = cl
+		env.Queue = block.NewQueue(c.K, cl, cfg.BlockQueue)
+		return env, nil
 
 	case NVMeoFRemote:
 		attach := func(h *Host, name string) *rdma.NIC {
@@ -141,18 +162,20 @@ func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg Sce
 		rdma.Connect(qpT, qpI)
 		tgt, err := nvmeof.NewTarget(p, c.Hosts[0].Port, NVMeBARBase, cfg.Target)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if err := tgt.Serve(p, qpT); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		ini, err := nvmeof.NewInitiator(p, "nvme1n1", c.Hosts[1].Port, qpI, cfg.Initiator)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return block.NewQueue(c.K, ini, cfg.BlockQueue), nil, nil
+		env.Target, env.Initiator = tgt, ini
+		env.Queue = block.NewQueue(c.K, ini, cfg.BlockQueue)
+		return env, nil
 	}
-	return nil, nil, fmt.Errorf("cluster: unknown scenario %q", s)
+	return nil, fmt.Errorf("cluster: unknown scenario %q", s)
 }
 
 // RunWorkload builds scenario s and executes fn (from a simulation
@@ -164,12 +187,11 @@ func RunWorkload(s Scenario, cfg ScenarioConfig, fn func(p *sim.Proc, env *Env) 
 	}
 	var runErr error
 	c.Go(string(s), func(p *sim.Proc) {
-		q, cl, err := bringUp(p, s, c, ctrl, cfg)
+		env, err := bringUp(p, s, c, ctrl, cfg)
 		if err != nil {
 			runErr = err
 			return
 		}
-		env := &Env{Scenario: s, Cluster: c, Ctrl: ctrl, Queue: q, Client: cl}
 		runErr = fn(p, env)
 	})
 	c.Run()
@@ -200,12 +222,11 @@ func RunJobStats(s Scenario, cfg ScenarioConfig, spec fio.JobSpec) (*fio.Result,
 	var res *fio.Result
 	var runErr error
 	c.Go(string(s), func(p *sim.Proc) {
-		q, cl, err := bringUp(p, s, c, ctrl, cfg)
+		env, err := bringUp(p, s, c, ctrl, cfg)
 		if err != nil {
 			runErr = err
 			return
 		}
-		env := &Env{Scenario: s, Cluster: c, Ctrl: ctrl, Queue: q, Client: cl}
 		res, runErr = fio.Run(p, env.Queue, spec)
 	})
 	c.Run()

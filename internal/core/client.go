@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sisci"
 	"repro/internal/smartio"
+	"repro/internal/trace"
 )
 
 // SQPlacement selects where a client's submission queue memory lives.
@@ -96,6 +97,10 @@ type ClientParams struct {
 	// per-request protection and no memcpy, at IOMMU map/unmap cost.
 	// Requires a manager with EnableIOMMU.
 	ZeroCopy bool
+	// Tracer, when non-nil, records a per-IO span (client partition
+	// stages plus the fabric hops the queue view and controller attach).
+	// Nil — the default — adds no virtual time and no allocations.
+	Tracer *trace.Tracer
 }
 
 // DefaultClientParams returns the §V proof-of-concept calibration.
@@ -175,6 +180,10 @@ type Client struct {
 
 	// Reads/Writes/Flushes count completed operations.
 	Reads, Writes, Flushes uint64
+	// Polls counts completion-poll sweep wakeups; BounceBytes counts bytes
+	// staged through (or out of) the bounce partitions.
+	Polls       uint64
+	BounceBytes uint64
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
 }
@@ -315,6 +324,7 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 	// so coalescing removes remote posted writes from the hot path.
 	c.view.CoalesceSQ = true
 	c.view.LazyCQ = true
+	c.view.Tracer = params.Tracer
 
 	c.slotFree = sim.NewSemaphore(node.Host().Domain().Kernel(), slots)
 	c.slots = make([]bool, slots)
@@ -377,6 +387,10 @@ func (c *Client) Metadata() Metadata { return c.meta }
 // QID returns the granted queue pair ID.
 func (c *Client) QID() uint16 { return c.view.ID }
 
+// QueueView exposes the client's queue-pair state for observability
+// (doorbell and coalescing counters).
+func (c *Client) QueueView() *nvme.QueueView { return c.view }
+
 // Placement returns the SQ placement in effect.
 func (c *Client) Placement() SQPlacement { return c.params.Placement }
 
@@ -398,6 +412,7 @@ func (c *Client) poller(p *sim.Proc) {
 				return
 			}
 			p.WaitSignal(c.cqSignal)
+			c.Polls++
 			if c.params.UseInterrupts {
 				p.Sleep(c.params.IRQEntryNs)
 			} else {
@@ -523,6 +538,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 		if err := c.node.Host().Write(p, partCPU, buf); err != nil {
 			return err
 		}
+		c.BounceBytes += uint64(n)
 	}
 	inCopyDone := p.Now()
 	cmd := nvme.SQE{
@@ -542,6 +558,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	}
 	deviceDone := p.Now()
 	if st != nvme.StatusOK {
+		c.params.Tracer.Drop(c.view.ID, cmd.CID)
 		return fmt.Errorf("%w: status %#x", ErrIOFailed, st)
 	}
 	if opcode == nvme.IORead {
@@ -556,6 +573,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 			if err := c.node.Host().Read(p, partCPU, buf); err != nil {
 				return err
 			}
+			c.BounceBytes += uint64(n)
 		}
 		c.Reads++
 	} else {
@@ -568,6 +586,22 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	// split it back out so the decomposition matches the path structure.
 	c.Phases.DeviceNs += (deviceDone - inCopyDone) - c.params.CompleteOverheadNs
 	c.Phases.CompleteNs += c.params.CompleteOverheadNs
+	if tr := c.params.Tracer; tr != nil {
+		// Close the span retroactively: the CID only exists after exec, but
+		// the queue view and controller have already attached their hops to
+		// the open span keyed (QID, CID). The partition stages mirror the
+		// PhaseStats arithmetic exactly, so per span they sum to end-to-end.
+		qid, cid := c.view.ID, cmd.CID
+		end := p.Now()
+		reapStart := deviceDone - c.params.CompleteOverheadNs
+		tr.Begin(qid, cid, opcode, phaseStart)
+		tr.Hop(qid, cid, trace.StageSubmit, phaseStart, submitDone)
+		tr.Hop(qid, cid, trace.StageDataIn, submitDone, inCopyDone)
+		tr.Hop(qid, cid, trace.StageDevice, inCopyDone, reapStart)
+		tr.Hop(qid, cid, trace.StageReap, reapStart, deviceDone)
+		tr.Hop(qid, cid, trace.StageDataOut, deviceDone, end)
+		tr.End(qid, cid, end)
+	}
 	return nil
 }
 
@@ -631,6 +665,7 @@ func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE) (uint16, error) {
 	c.pending[cmd.CID] = io
 	if err := c.view.Submit(p, c.node.Host(), cmd); err != nil {
 		delete(c.pending, cmd.CID)
+		c.params.Tracer.Drop(c.view.ID, cmd.CID)
 		return 0, err
 	}
 	if _, ok := p.WaitTimeout(io.done, c.params.IOTimeoutNs); !ok {
@@ -638,6 +673,7 @@ func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE) (uint16, error) {
 		// (no pending entry) and the CID is never reused within the
 		// 16-bit window a queue can have in flight.
 		delete(c.pending, cmd.CID)
+		c.params.Tracer.Drop(c.view.ID, cmd.CID)
 		return 0, fmt.Errorf("%w: CID %d after %d ns", ErrIOTimeout, cmd.CID, c.params.IOTimeoutNs)
 	}
 	p.Sleep(c.params.CompleteOverheadNs)

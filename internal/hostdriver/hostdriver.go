@@ -12,6 +12,7 @@ import (
 	"repro/internal/nvme"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params tunes the driver's software-path model.
@@ -29,6 +30,9 @@ type Params struct {
 	QueueDepth int
 	// MaxPages bounds the transfer size per command (PRP pool pages).
 	MaxPages int
+	// Tracer, when non-nil, records per-IO spans (submit and device
+	// stages) plus the queue-level fabric hops. Nil by default.
+	Tracer *trace.Tracer
 }
 
 // DefaultParams returns the stock-driver calibration.
@@ -193,6 +197,7 @@ func (d *Driver) createQueue(p *sim.Proc, qid uint16, ctrl *nvme.Controller) (*i
 		id:   qid,
 	}
 	q.view.EnableLocking(d.kernel)
+	q.view.Tracer = d.params.Tracer
 	// blk-mq-style batching: the last submitter of a contended burst
 	// commits the SQ tail once, and the ISR's CQ sweep acknowledges all
 	// reaped entries with a single head doorbell.
@@ -341,11 +346,23 @@ func (q *ioQueue) exec(p *sim.Proc, cmd *nvme.SQE, data []byte) error {
 		}
 	}
 	cmd.CID = cid
+	tr := q.drv.params.Tracer
+	t0 := p.Now()
 	p.Sleep(q.drv.params.SubmitNs)
 	if err := q.view.Submit(p, q.drv.host, cmd); err != nil {
+		tr.Drop(q.id, cid)
 		return err
 	}
+	tSubmit := p.Now()
 	p.Wait(ctx.done)
+	end := p.Now()
+	// The span partition for this driver is submit + device: completion
+	// handling (IRQ entry, ISR sweep) is accounted inside the device
+	// window because the waiter has no timestamp for when the CQE landed.
+	tr.Begin(q.id, cid, cmd.Opcode, t0)
+	tr.Hop(q.id, cid, trace.StageSubmit, t0, tSubmit)
+	tr.Hop(q.id, cid, trace.StageDevice, tSubmit, end)
+	tr.End(q.id, cid, end)
 	if ctx.status != nvme.StatusOK {
 		return &StatusError{Status: ctx.status}
 	}

@@ -22,6 +22,11 @@ type ClusterAdapter struct {
 	MaxWindows    int
 	ProgramCostNs int64
 
+	// Translations counts successful LUT translations; Programmed counts
+	// windows written. Plain observability counters.
+	Translations uint64
+	Programmed   uint64
+
 	local *pcie.Domain
 	node  pcie.NodeID
 	bar   pcie.Range
@@ -98,6 +103,7 @@ func (a *ClusterAdapter) Map(off, size uint64, remote *pcie.Domain, entry pcie.N
 	}
 	a.wins = append(a.wins, clusterWindow{off: off, size: size, remote: remote, entry: entry, rbase: raddr})
 	sort.Slice(a.wins, func(i, j int) bool { return a.wins[i].off < a.wins[j].off })
+	a.Programmed++
 	return a.bar.Base + off, nil
 }
 
@@ -155,6 +161,7 @@ func (a *ClusterAdapter) Forward(addr pcie.Addr) (*pcie.Domain, pcie.NodeID, pci
 	off := addr - a.bar.Base
 	for _, w := range a.wins {
 		if off >= w.off && off < w.off+w.size {
+			a.Translations++
 			return w.remote, w.entry, w.rbase + (off - w.off), a.CrossNs, nil
 		}
 	}

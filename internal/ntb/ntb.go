@@ -55,6 +55,12 @@ type NTB struct {
 	// ProgramCostNs is the per-entry LUT programming cost (see package doc).
 	ProgramCostNs int64
 
+	// Translations counts successful LUT translations (route resolutions
+	// through this bridge); Programmed counts LUT entries written. Plain
+	// observability counters — reading them never perturbs the model.
+	Translations uint64
+	Programmed   uint64
+
 	local       *pcie.Domain
 	node        pcie.NodeID
 	bar         pcie.Range
@@ -139,6 +145,7 @@ func (n *NTB) MapWindow(off, size uint64, remoteAddr pcie.Addr) error {
 	}
 	n.windows = append(n.windows, window{off: off, size: size, rbase: remoteAddr})
 	sort.Slice(n.windows, func(i, j int) bool { return n.windows[i].off < n.windows[j].off })
+	n.Programmed++
 	return nil
 }
 
@@ -205,6 +212,7 @@ func (n *NTB) Forward(addr pcie.Addr) (*pcie.Domain, pcie.NodeID, pcie.Addr, int
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
+	n.Translations++
 	return n.remote, n.remoteEntry, raddr, n.CrossNs, nil
 }
 

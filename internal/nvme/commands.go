@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // execAdmin executes an admin command and returns (status, CQE.DW0).
@@ -197,16 +198,17 @@ func (c *Controller) smartLog() SMARTLog {
 	return s
 }
 
-// execIO executes an NVM command and returns the status.
-func (c *Controller) execIO(p *sim.Proc, cmd *SQE) uint16 {
+// execIO executes an NVM command from SQ qid and returns the status.
+// qid keys device-side trace hops to the right span.
+func (c *Controller) execIO(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	if cmd.NSID != 1 {
 		return Status(SCTGeneric, SCInvalidNS)
 	}
 	switch cmd.Opcode {
 	case IORead:
-		return c.ioRead(p, cmd)
+		return c.ioRead(p, qid, cmd)
 	case IOWrite:
-		return c.ioWrite(p, cmd)
+		return c.ioWrite(p, qid, cmd)
 	case IOFlush:
 		if err := c.med.Flush(p); err != nil {
 			return Status(SCTMediaError, SCDataTransfer)
@@ -294,7 +296,7 @@ func (c *Controller) ioDSM(p *sim.Proc, cmd *SQE) uint16 {
 	return StatusOK
 }
 
-func (c *Controller) ioRead(p *sim.Proc, cmd *SQE) uint16 {
+func (c *Controller) ioRead(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	slba := uint64(cmd.CDW10) | uint64(cmd.CDW11)<<32
 	nlb := int(cmd.CDW12&0xFFFF) + 1
 	if slba+uint64(nlb) > c.med.Blocks() {
@@ -302,18 +304,22 @@ func (c *Controller) ioRead(p *sim.Proc, cmd *SQE) uint16 {
 	}
 	n := nlb * c.med.BlockSize()
 	buf := make([]byte, n)
+	t0 := p.Now()
 	if err := c.med.Read(p, slba, nlb, buf); err != nil {
 		c.Stats.MediaErrs++
 		return Status(SCTMediaError, SCUnrecoveredRead)
 	}
+	c.tracer.Hop(qid, cmd.CID, trace.StageMedium, t0, p.Now())
+	t0 = p.Now()
 	if st := c.writePRP(p, cmd.PRP1, cmd.PRP2, buf); st != StatusOK {
 		return st
 	}
+	c.tracer.HopNote(qid, cmd.CID, trace.StageDataXfer, t0, p.Now(), uint64(n))
 	c.Stats.ReadCmds++
 	return StatusOK
 }
 
-func (c *Controller) ioWrite(p *sim.Proc, cmd *SQE) uint16 {
+func (c *Controller) ioWrite(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	slba := uint64(cmd.CDW10) | uint64(cmd.CDW11)<<32
 	nlb := int(cmd.CDW12&0xFFFF) + 1
 	if slba+uint64(nlb) > c.med.Blocks() {
@@ -321,13 +327,17 @@ func (c *Controller) ioWrite(p *sim.Proc, cmd *SQE) uint16 {
 	}
 	n := nlb * c.med.BlockSize()
 	buf := make([]byte, n)
+	t0 := p.Now()
 	if st := c.readPRP(p, cmd.PRP1, cmd.PRP2, buf); st != StatusOK {
 		return st
 	}
+	c.tracer.HopNote(qid, cmd.CID, trace.StageDataXfer, t0, p.Now(), uint64(n))
+	t0 = p.Now()
 	if err := c.med.Write(p, slba, nlb, buf); err != nil {
 		c.Stats.MediaErrs++
 		return Status(SCTMediaError, SCWriteFault)
 	}
+	c.tracer.Hop(qid, cmd.CID, trace.StageMedium, t0, p.Now())
 	c.Stats.WriteCmds++
 	return StatusOK
 }

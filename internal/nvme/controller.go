@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params configures a controller.
@@ -116,6 +117,11 @@ type Stats struct {
 	Fetches     uint64
 	Completions uint64
 	Interrupts  uint64
+	// SQDoorbellWrites and CQDoorbellWrites count doorbell register writes
+	// arriving at the controller (the device-side view of ring traffic;
+	// compare QueueView.SQDoorbells for the driver-side view).
+	SQDoorbellWrites uint64
+	CQDoorbellWrites uint64
 }
 
 // Controller is a simulated single-function NVMe controller. Create it
@@ -157,6 +163,11 @@ type Controller struct {
 	// Stats is exported state for observability; not part of the device
 	// model.
 	Stats Stats
+
+	// tracer records device-side hops (fetch, decode, medium, transfer,
+	// completion post) on the span keyed by (SQ ID, CID). Nil when
+	// tracing is off.
+	tracer *trace.Tracer
 }
 
 // New creates a controller attached at node in dom, claiming bar for its
@@ -216,6 +227,10 @@ func (c *Controller) Params() Params { return c.params }
 
 // Medium returns the backing medium.
 func (c *Controller) Medium() Medium { return c.med }
+
+// SetTracer attaches (or detaches, with nil) a tracer recording
+// device-side hops per command. Call before driving I/O.
+func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
 
 // SetMSIVector programs MSI-X vector iv to post data to addr. It is a
 // convenience equivalent to writing the vector's MSI-X table entry
@@ -405,6 +420,7 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 			c.csts |= CSTSCFS
 			return
 		}
+		c.Stats.SQDoorbellWrites++
 		sq.tail = val
 		c.doorbell.Set()
 	} else {
@@ -413,6 +429,7 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 			c.csts |= CSTSCFS
 			return
 		}
+		c.Stats.CQDoorbellWrites++
 		cq.head = val
 		c.cqSpace.Set()
 	}
@@ -495,6 +512,8 @@ func (c *Controller) dmaWrite(p *sim.Proc, addr pcie.Addr, data []byte) error {
 
 // execute fetches and runs the command in SQ slot, then posts a completion.
 func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
+	tr := c.tracer
+	t0 := p.Now()
 	buf := make([]byte, SQESize)
 	if err := c.dmaRead(p, sq.base+pcie.Addr(slot*SQESize), buf); err != nil {
 		c.csts |= CSTSCFS
@@ -502,7 +521,16 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 	}
 	c.Stats.Fetches++
 	cmd := UnmarshalSQE(buf)
+	if tr != nil {
+		var cross uint64
+		if res, err := c.dom.Resolve(c.node, sq.base, 1); err == nil {
+			cross = uint64(res.Crossings)
+		}
+		tr.HopNote(sq.id, cmd.CID, trace.StageCtrlFetch, t0, p.Now(), cross)
+		t0 = p.Now()
+	}
 	p.Sleep(c.params.CmdOverheadNs)
+	tr.Hop(sq.id, cmd.CID, trace.StageCtrlDecode, t0, p.Now())
 
 	var status uint16
 	var dw0 uint32
@@ -510,7 +538,7 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 		status, dw0 = c.execAdmin(p, &cmd)
 		c.Stats.AdminCmds++
 	} else {
-		status = c.execIO(p, &cmd)
+		status = c.execIO(p, sq.id, &cmd)
 	}
 	if status != StatusOK {
 		c.Stats.ErrorCmds++
@@ -521,6 +549,7 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 // complete posts a CQE to the SQ's paired CQ, waiting for space if the
 // host has not consumed earlier entries.
 func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32, status uint16) {
+	t0 := p.Now()
 	cq := c.cqs[sq.cqid]
 	if cq == nil || !cq.created {
 		c.csts |= CSTSCFS
@@ -546,6 +575,7 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 		c.csts |= CSTSCFS
 		return
 	}
+	c.tracer.Hop(sq.id, cid, trace.StageCQPost, t0, p.Now())
 	c.Stats.Completions++
 	if cq.ien {
 		c.interrupt(p, cq.iv)

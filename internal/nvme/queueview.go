@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // QueueView is the driver-side state for operating one SQ/CQ pair. All
@@ -42,6 +43,18 @@ type QueueView struct {
 	// observing coalescing ratios in tests and benchmarks.
 	SQDoorbells uint64
 	CQDoorbells uint64
+	// Coalescing-effectiveness counters. SQDoorbellsSaved counts
+	// submissions whose tail doorbell was deferred to a later submitter
+	// (an MMIO write that never happened). CQRingsSaved counts CQ head
+	// doorbells avoided by lazy ringing: a FlushCQ covering k consumed
+	// entries saves k-1 individual rings. Both stay zero at QD1.
+	SQDoorbellsSaved uint64
+	CQRingsSaved     uint64
+
+	// Tracer, when non-nil, records per-command fabric hops (SQE write,
+	// doorbell, NTB crossing, CQE poll) keyed by (ID, CID). Nil — the
+	// default — costs one pointer check per operation.
+	Tracer *trace.Tracer
 
 	sqTail     int
 	sqDeferred bool // tail advanced past the last rung doorbell
@@ -91,6 +104,8 @@ func (q *QueueView) NextCID() uint16 {
 // guarantees the entry is visible to the controller before the doorbell
 // (§V of the paper relies on this across the NTB).
 func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
+	tr := q.Tracer
+	t0 := p.Now()
 	if q.lock != nil {
 		p.Acquire(q.lock)
 		defer q.lock.Release()
@@ -109,13 +124,33 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 	if err := h.Write(p, q.SQAddr+pcie.Addr(slot*SQESize), cmd.Marshal()); err != nil {
 		return err
 	}
+	tr.Hop(q.ID, cmd.CID, trace.StageSQWrite, t0, p.Now())
 	if q.CoalesceSQ && q.lock != nil && q.lock.Waiters() > 0 {
 		// Another submitter is already blocked on the lock; let it carry
 		// (or further defer) the doorbell for this entry too.
 		q.sqDeferred = true
+		q.SQDoorbellsSaved++
+		if tr != nil {
+			now := p.Now()
+			tr.HopNote(q.ID, cmd.CID, trace.StageSQDoorbell, now, now, trace.NoteCoalesced)
+		}
 		return nil
 	}
-	return q.Ring(p, h)
+	if tr == nil {
+		return q.Ring(p, h)
+	}
+	td := p.Now()
+	if err := q.Ring(p, h); err != nil {
+		return err
+	}
+	tr.Hop(q.ID, cmd.CID, trace.StageSQDoorbell, td, p.Now())
+	// Annotate the doorbell TLP's fabric flight when it crosses NTBs: the
+	// write is posted, so the flight happens after the CPU moves on.
+	if cross, oneWay := h.PathInfo(q.SQDoorbell, 4); cross > 0 {
+		now := p.Now()
+		tr.HopNote(q.ID, cmd.CID, trace.StageNTBCross, now, now+oneWay, uint64(cross))
+	}
+	return nil
 }
 
 // Ring rings the SQ doorbell with the current tail, committing any
@@ -134,6 +169,7 @@ func (q *QueueView) Ring(p *sim.Proc, h *pcie.HostPort) error {
 // ringing the CQ head doorbell. Costs one local access (or a fabric read
 // for a remote CQ).
 func (q *QueueView) Poll(p *sim.Proc, h *pcie.HostPort) (CQE, bool, error) {
+	t0 := p.Now()
 	buf := make([]byte, CQESize)
 	if err := h.Read(p, q.CQAddr+pcie.Addr(q.cqHead*CQESize), buf); err != nil {
 		return CQE{}, false, err
@@ -148,6 +184,7 @@ func (q *QueueView) Poll(p *sim.Proc, h *pcie.HostPort) (CQE, bool, error) {
 		q.phase = !q.phase
 	}
 	q.inflight--
+	q.Tracer.Hop(q.ID, cqe.CID, trace.StageCQPoll, t0, p.Now())
 	if q.LazyCQ {
 		q.cqUnrung++
 		return cqe, true, nil
@@ -168,6 +205,9 @@ func (q *QueueView) FlushCQ(p *sim.Proc, h *pcie.HostPort) error {
 	if q.cqUnrung == 0 {
 		return nil
 	}
+	// One ring covers q.cqUnrung consumed entries; all but the first
+	// would have been individual doorbells without LazyCQ.
+	q.CQRingsSaved += uint64(q.cqUnrung - 1)
 	q.cqUnrung = 0
 	q.CQDoorbells++
 	var db [4]byte

@@ -8,7 +8,13 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/rdma"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// initiatorTraceQID is the pseudo queue ID nvme-of initiator spans are
+// keyed under: there is no NVMe qid on the host side of the fabric, and
+// the high bit keeps it clear of real controller queue IDs.
+const initiatorTraceQID uint16 = 0x8001
 
 // Initiator errors.
 var (
@@ -31,6 +37,9 @@ type InitiatorParams struct {
 	SlotBytes uint64
 	// InCapsule is the largest write sent with in-capsule data.
 	InCapsule int
+	// Tracer, when non-nil, records a coarse span per capsule exchange
+	// (device wait + completion path). Nil by default.
+	Tracer *trace.Tracer
 }
 
 // DefaultInitiatorParams returns the stock-initiator calibration.
@@ -93,8 +102,9 @@ type Initiator struct {
 	pending  map[uint16]*initPending
 	nextCID  uint16
 
-	// Reads/Writes count completed operations.
-	Reads, Writes uint64
+	// Reads/Writes count completed operations; Submissions counts
+	// capsules sent (including admin-path ones).
+	Reads, Writes, Submissions uint64
 }
 
 // NewInitiator connects over qp (already rdma.Connect-ed to a served
@@ -171,6 +181,7 @@ func (ini *Initiator) isr(p *sim.Proc) {
 // its response.
 func (ini *Initiator) exec(p *sim.Proc, cap *CmdCapsule, inline []byte) (RespCapsule, error) {
 	ini.nextCID++
+	ini.Submissions++
 	cap.CID = ini.nextCID
 	w := &initPending{done: sim.NewEvent(p.Kernel())}
 	ini.pending[cap.CID] = w
@@ -178,9 +189,19 @@ func (ini *Initiator) exec(p *sim.Proc, cap *CmdCapsule, inline []byte) (RespCap
 	if len(inline) > 0 {
 		msg = append(msg, inline...)
 	}
+	tr := ini.params.Tracer
+	t0 := p.Now()
 	ini.qp.PostSendInline(uint64(cap.CID), msg, 0)
 	p.Wait(w.done)
+	tWait := p.Now()
 	p.Sleep(ini.params.CompleteNs)
+	end := p.Now()
+	// Coarse two-stage partition: the capsule round trip (fabric + target
+	// + device) and the host completion path after the response landed.
+	tr.Begin(initiatorTraceQID, cap.CID, cap.Opcode, t0)
+	tr.Hop(initiatorTraceQID, cap.CID, trace.StageDevice, t0, tWait)
+	tr.Hop(initiatorTraceQID, cap.CID, trace.StageReap, tWait, end)
+	tr.End(initiatorTraceQID, cap.CID, end)
 	return w.resp, nil
 }
 

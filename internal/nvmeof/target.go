@@ -92,6 +92,10 @@ type Target struct {
 
 	// Served counts accepted connections.
 	Served int
+	// Polls counts command-capsule pickups by connection dispatchers;
+	// StagedBytes counts payload bytes moved through staging partitions
+	// (RDMA READs of write data and RDMA WRITEs of read data).
+	Polls, StagedBytes uint64
 	// CPUBusyNs accumulates host-CPU time spent in the target software
 	// path; with Offload the same work happens in NIC firmware and is
 	// not charged here.
@@ -200,6 +204,7 @@ func (c *conn) handle(p *sim.Proc) {
 		if wc.Status != nil {
 			return
 		}
+		c.t.Polls++
 		c.t.cpuSleep(p, c.t.params.PollNs)
 		slot := wc.WRID
 		c.t.host.Domain().Kernel().Spawn(fmt.Sprintf("nvmf-tgt-cmd%d", slot),
@@ -262,6 +267,7 @@ func (c *conn) execute(p *sim.Proc, bufAddr pcie.Addr, slot int, cap CmdCapsule)
 			prp = bufAddr + CmdHeaderSize
 		} else {
 			// Fetch initiator data with a one-sided RDMA READ.
+			c.t.StagedBytes += uint64(n)
 			c.qp.PostRead(wridStagingRead|uint64(slot), stage, n, pcie.Addr(cap.RAddr))
 			if wc := rdma.WaitWCID(p, c.qp.SendCQ, wridStagingRead|uint64(slot)); wc.Status != nil {
 				resp.Status = nvme.Status(nvme.SCTGeneric, nvme.SCDataTransfer)
@@ -311,6 +317,7 @@ func (c *conn) execute(p *sim.Proc, bufAddr pcie.Addr, slot int, cap CmdCapsule)
 	if resp.Status == nvme.StatusOK && cap.Opcode == nvme.IORead {
 		// Return data with a one-sided RDMA WRITE; the response capsule
 		// posted right after it stays ordered behind the data.
+		c.t.StagedBytes += uint64(n)
 		c.qp.PostWrite(wridDataWrite|uint64(slot), stage, n, pcie.Addr(cap.RAddr))
 		return resp, true
 	}

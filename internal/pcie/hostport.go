@@ -151,6 +151,21 @@ func (h *HostPort) Read(p *sim.Proc, addr Addr, buf []byte) error {
 	return h.dom.MemRead(p, h.node, addr, buf)
 }
 
+// PathInfo returns the structural cost of reaching [addr, addr+n) from
+// this CPU — NTB crossings and one-way latency — without issuing a
+// transaction or advancing virtual time. Local DRAM is (0, 0); so is an
+// unroutable address. Used by tracing to annotate fabric hops.
+func (h *HostPort) PathInfo(addr Addr, n int) (crossings int, oneWayNs int64) {
+	if n < 0 || h.Local(addr, uint64(n)) {
+		return 0, 0
+	}
+	res, err := h.dom.Resolve(h.node, addr, uint64(n))
+	if err != nil {
+		return 0, 0
+	}
+	return res.Crossings, res.OneWayNs
+}
+
 // Slice returns a zero-copy view of local DRAM; it fails for non-local
 // addresses.
 func (h *HostPort) Slice(addr Addr, n uint64) ([]byte, error) {

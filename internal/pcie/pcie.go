@@ -184,7 +184,22 @@ type Domain struct {
 	// earlier one, matching PCIe ordering rules.
 	lastArrival map[string]sim.Time
 	hopCache    map[[2]NodeID]int
+	stats       DomainStats
 }
+
+// DomainStats counts fabric transactions initiated in this domain. All
+// fields are monotonic totals; reading them never perturbs the model.
+type DomainStats struct {
+	PostedWrites uint64 // MemWrite TLPs issued
+	MMIOWrites   uint64 // MMIOWrite TLPs issued
+	Reads        uint64 // MemRead round trips issued
+	BytesWritten uint64 // payload bytes of posted + MMIO writes
+	BytesRead    uint64 // payload bytes of reads
+	Crossings    uint64 // NTB crossings summed over all routed transactions
+}
+
+// Stats returns the domain's transaction counters.
+func (d *Domain) Stats() DomainStats { return d.stats }
 
 // NewDomain creates an empty domain on kernel k. Pass a zero LinkParams to
 // use defaults.
@@ -399,6 +414,9 @@ func (d *Domain) MemWrite(p *sim.Proc, from NodeID, addr Addr, data []byte) erro
 	if err != nil {
 		return err
 	}
+	d.stats.PostedWrites++
+	d.stats.BytesWritten += uint64(len(data))
+	d.stats.Crossings += uint64(res.Crossings)
 	ser := d.params.SerializeNs(len(data))
 	// The initiator occupies its port for the serialization time.
 	p.Sleep(ser)
@@ -418,6 +436,9 @@ func (d *Domain) MMIOWrite(p *sim.Proc, from NodeID, addr Addr, data []byte) err
 	if err != nil {
 		return err
 	}
+	d.stats.MMIOWrites++
+	d.stats.BytesWritten += uint64(len(data))
+	d.stats.Crossings += uint64(res.Crossings)
 	p.Sleep(d.params.MMIOIssueNs)
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -438,6 +459,9 @@ func (d *Domain) MemRead(p *sim.Proc, from NodeID, addr Addr, buf []byte) error 
 	if err != nil {
 		return err
 	}
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(buf))
+	d.stats.Crossings += uint64(res.Crossings)
 	// Request flight.
 	p.Sleep(res.OneWayNs)
 	// Completer services the read now.

@@ -183,6 +183,33 @@ type Kernel struct {
 	nprocs      int
 	executed    uint64
 	parked      waiterSet
+	// Observability counters (plain increments on the hot path; read via
+	// Stats). They never affect scheduling.
+	scheduled    uint64
+	runQueued    uint64
+	poolMisses   uint64
+	inlineSleeps uint64
+}
+
+// KernelStats is a snapshot of the kernel's scheduler-work counters. All
+// fields are monotonic totals since NewKernel.
+type KernelStats struct {
+	Executed     uint64 // items dispatched by Run (incl. inline sleeps)
+	Scheduled    uint64 // items enqueued (heap + run queue)
+	RunQueued    uint64 // same-timestamp items that bypassed the heap
+	PoolMisses   uint64 // item allocations because the pool was empty
+	InlineSleeps uint64 // Sleep fast-path clock advances (no item at all)
+}
+
+// Stats returns the kernel's scheduler-work counters.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Executed:     k.executed,
+		Scheduled:    k.scheduled,
+		RunQueued:    k.runQueued,
+		PoolMisses:   k.poolMisses,
+		InlineSleeps: k.inlineSleeps,
+	}
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -207,6 +234,7 @@ func (k *Kernel) get() *item {
 		k.pool = k.pool[:n]
 		return it
 	}
+	k.poolMisses++
 	return &item{idx: idxDetached}
 }
 
@@ -228,11 +256,13 @@ func (k *Kernel) newItem(t Time) *item {
 		panic(fmt.Sprintf("sim: schedule in the past: %d < %d", t, k.now))
 	}
 	k.seq++
+	k.scheduled++
 	it := k.get()
 	it.t = t
 	it.seq = k.seq
 	if k.dispatching && t == k.now {
 		it.idx = idxRunQueue
+		k.runQueued++
 		k.runq = append(k.runq, it)
 	} else {
 		k.heap.push(it)
@@ -392,6 +422,7 @@ func (p *Proc) Sleep(d Duration) {
 		k.rqh >= len(k.runq) && (len(k.heap) == 0 || k.heap[0].t > t) {
 		k.now = t
 		k.executed++
+		k.inlineSleeps++
 		return
 	}
 	p.wakeAt(t)

@@ -1,0 +1,149 @@
+package stats
+
+import "math/bits"
+
+// PowHistogram is a bounded streaming histogram in the HDR-histogram
+// style: power-of-two octaves subdivided into 1<<subBits linear
+// sub-buckets, so recorded values keep a relative error of at most
+// 2^-subBits regardless of how many observations arrive. Memory is fixed
+// at construction (~(65-subBits)<<subBits counters), unlike Sample which
+// retains every observation exactly.
+//
+// Values are non-negative integers (virtual nanoseconds in this repo);
+// negative inputs clamp to zero. The zero value is not usable — construct
+// with NewPowHistogram.
+type PowHistogram struct {
+	subBits  uint
+	subCount uint64
+	counts   []uint64
+	count    uint64
+	sum      float64
+	min      int64
+	max      int64
+}
+
+// NewPowHistogram returns a histogram with 1<<subBits linear sub-buckets
+// per octave. subBits is clamped to [1, 10]; 5 (3.1% worst-case relative
+// error, ~2k buckets) is a good default for latency data.
+func NewPowHistogram(subBits uint) *PowHistogram {
+	if subBits < 1 {
+		subBits = 1
+	}
+	if subBits > 10 {
+		subBits = 10
+	}
+	octaves := 64 - subBits + 1
+	return &PowHistogram{
+		subBits:  subBits,
+		subCount: 1 << subBits,
+		counts:   make([]uint64, (uint64(octaves)+1)<<subBits),
+		min:      -1,
+	}
+}
+
+// index maps a non-negative value to its bucket.
+func (h *PowHistogram) index(v int64) int {
+	u := uint64(v)
+	if u < h.subCount {
+		return int(u) // exact small values
+	}
+	exp := uint(bits.Len64(u)) - 1 // 2^exp <= u < 2^(exp+1)
+	sub := (u >> (exp - h.subBits)) - h.subCount
+	return int((uint64(exp-h.subBits)+1)<<h.subBits + sub)
+}
+
+// bucketMid returns the representative (midpoint) value of bucket i.
+func (h *PowHistogram) bucketMid(i int) float64 {
+	u := uint64(i)
+	if u < h.subCount {
+		return float64(u) // exact
+	}
+	block := u >> h.subBits
+	sub := u & (h.subCount - 1)
+	shift := uint(block - 1)
+	lo := (h.subCount + sub) << shift
+	width := uint64(1) << shift
+	return float64(lo) + float64(width-1)/2
+}
+
+// AddNs records one value.
+func (h *PowHistogram) AddNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.index(v)]++
+	h.count++
+	h.sum += float64(v)
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Add records one value, truncating toward zero.
+func (h *PowHistogram) Add(v float64) { h.AddNs(int64(v)) }
+
+// Count returns the number of recorded values.
+func (h *PowHistogram) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of recorded values.
+func (h *PowHistogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean (sums are tracked outside the buckets).
+func (h *PowHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest recorded value (exact), or 0 when empty.
+func (h *PowHistogram) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (exact).
+func (h *PowHistogram) Max() int64 { return h.max }
+
+// Buckets returns the fixed bucket count (memory bound visibility).
+func (h *PowHistogram) Buckets() int { return len(h.counts) }
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100): the
+// representative value of the bucket holding the ceil(p/100*count)-th
+// smallest observation. Relative error is bounded by 2^-subBits.
+func (h *PowHistogram) Percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if p/100*float64(h.count) > float64(rank) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			mid := h.bucketMid(i)
+			// Clamp to the exact extremes so tails never overshoot.
+			if mid > float64(h.max) {
+				mid = float64(h.max)
+			}
+			if mn := h.Min(); mid < float64(mn) {
+				mid = float64(mn)
+			}
+			return mid
+		}
+	}
+	return float64(h.max)
+}

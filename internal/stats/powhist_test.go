@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPowHistExactSmall: values below the sub-bucket count land in
+// per-value buckets, so small percentiles are exact.
+func TestPowHistExactSmall(t *testing.T) {
+	h := NewPowHistogram(5)
+	for v := int64(0); v < 32; v++ {
+		h.AddNs(v)
+	}
+	if got := h.Percentile(100); got != 31 {
+		t.Errorf("p100 = %v, want 31", got)
+	}
+	if got := h.Percentile(50); got != 15 {
+		t.Errorf("p50 = %v, want 15 (nearest-rank of 0..31)", got)
+	}
+}
+
+func TestPowHistCountMeanMinMax(t *testing.T) {
+	h := NewPowHistogram(5)
+	vals := []int64{100, 2000, 35, 7, 999999, 12345}
+	var sum int64
+	for _, v := range vals {
+		h.AddNs(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Min() != 7 || h.Max() != 999999 {
+		t.Errorf("min/max = %d/%d, want 7/999999", h.Min(), h.Max())
+	}
+	// Mean and sum are tracked exactly, outside the buckets.
+	if got, want := h.Mean(), float64(sum)/float64(len(vals)); got != want {
+		t.Errorf("mean = %v, want %v exactly", got, want)
+	}
+	if h.AddNs(-5); h.Min() != 0 {
+		t.Errorf("negative input should clamp to 0, min = %d", h.Min())
+	}
+}
+
+// TestPowHistPercentileErrorBound checks the advertised bound: the
+// histogram's nearest-rank percentile deviates from the exact
+// nearest-rank value by at most 2^-subBits relative error.
+func TestPowHistPercentileErrorBound(t *testing.T) {
+	for _, subBits := range []uint{3, 5, 8} {
+		h := NewPowHistogram(subBits)
+		s := NewSample(0)
+		rng := rand.New(rand.NewSource(42))
+		vals := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			// Latency-shaped data: lognormal-ish around ~20 µs with a tail.
+			v := int64(20000 * math.Exp(rng.NormFloat64()))
+			vals = append(vals, v)
+			h.AddNs(v)
+			s.AddDuration(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		bound := 1 / float64(uint64(1)<<subBits)
+		for _, p := range []float64{10, 50, 90, 99, 99.9} {
+			got := h.Percentile(p)
+			// Exact value under the same nearest-rank (ceil) convention.
+			rank := int(math.Ceil(p / 100 * float64(len(vals))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := float64(vals[rank-1])
+			if relErr := math.Abs(got-exact) / exact; relErr > bound {
+				t.Errorf("subBits=%d p%g: got %v, exact %v, rel err %.4f > bound %.4f",
+					subBits, p, got, exact, relErr, bound)
+			}
+			// Against Sample's interpolated percentile the convention
+			// differs by at most one observation; allow a loose 5%.
+			if ref := s.Percentile(p); math.Abs(got-ref)/ref > 0.05+bound {
+				t.Errorf("subBits=%d p%g: got %v vs Sample %v, beyond tolerance",
+					subBits, p, got, ref)
+			}
+		}
+	}
+}
+
+// TestPowHistMemoryBounded: bucket memory is fixed at construction no
+// matter how many observations stream in.
+func TestPowHistMemoryBounded(t *testing.T) {
+	h := NewPowHistogram(5)
+	before := h.Buckets()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		h.AddNs(rng.Int63())
+	}
+	if h.Buckets() != before {
+		t.Errorf("bucket count changed: %d -> %d", before, h.Buckets())
+	}
+	if h.Count() != 100000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}

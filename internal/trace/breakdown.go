@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// StageStat summarises one stage's time-in-stage across a set of spans.
+// TotalNs and MeanNs are exact; P99Ns comes from a bounded streaming
+// histogram (stats.PowHistogram, <=3.1% relative error).
+type StageStat struct {
+	Stage   string  `json:"stage"`
+	Count   int     `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+}
+
+// Breakdown is the per-stage latency decomposition of a traced run.
+// Stages is the reconciling client-side partition: per span, the
+// partition durations (including the synthetic "other" remainder) sum
+// exactly to end-to-end, so sum(Stages[i].TotalNs) == EndToEnd.TotalNs.
+// SubStages are informational fabric/controller hops recorded inside the
+// device window and are excluded from the reconciliation.
+type Breakdown struct {
+	Spans     int         `json:"spans"`
+	EndToEnd  StageStat   `json:"end_to_end"`
+	Stages    []StageStat `json:"stages"`
+	SubStages []StageStat `json:"sub_stages"`
+}
+
+type stageAcc struct {
+	count int
+	total int64
+	hist  *stats.PowHistogram
+}
+
+func (a *stageAcc) add(ns int64) {
+	if a.hist == nil {
+		a.hist = stats.NewPowHistogram(5)
+	}
+	a.count++
+	a.total += ns
+	a.hist.AddNs(ns)
+}
+
+func (a *stageAcc) stat(name string) StageStat {
+	st := StageStat{Stage: name, Count: a.count, TotalNs: a.total}
+	if a.count > 0 {
+		st.MeanNs = float64(a.total) / float64(a.count)
+		st.P99Ns = a.hist.Percentile(99)
+	}
+	return st
+}
+
+// ComputeBreakdown aggregates completed spans into a per-stage table.
+// Spans with End <= Start are skipped.
+func ComputeBreakdown(spans []*Span) Breakdown {
+	var e2e stageAcc
+	var accs [numStages]stageAcc
+	var other stageAcc
+	for _, s := range spans {
+		d := s.Duration()
+		if d <= 0 {
+			continue
+		}
+		e2e.add(d)
+		var part int64
+		for _, h := range s.Hops {
+			hd := h.End - h.Start
+			accs[h.Stage].add(hd)
+			if h.Stage.IsClientStage() {
+				part += hd
+			}
+		}
+		other.add(d - part)
+	}
+	b := Breakdown{Spans: e2e.count, EndToEnd: e2e.stat("end-to-end")}
+	for st := Stage(0); st < numStages; st++ {
+		a := &accs[st]
+		if a.count == 0 {
+			continue
+		}
+		if st.IsClientStage() {
+			b.Stages = append(b.Stages, a.stat(st.String()))
+		} else {
+			b.SubStages = append(b.SubStages, a.stat(st.String()))
+		}
+	}
+	if other.count > 0 {
+		b.Stages = append(b.Stages, other.stat("other"))
+	}
+	return b
+}
+
+// ReconcileNs returns the summed partition-stage time and the summed
+// end-to-end time; by construction they are equal for any span set.
+func (b Breakdown) ReconcileNs() (stageSum, endToEnd int64) {
+	for _, st := range b.Stages {
+		stageSum += st.TotalNs
+	}
+	return stageSum, b.EndToEnd.TotalNs
+}
+
+// Table renders the breakdown as an aligned text table with the
+// partition stages first (these sum to end-to-end), then informational
+// sub-stages.
+func (b Breakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %14s\n", "stage", "count", "mean_ns", "p99_ns", "total_ns")
+	row := func(st StageStat) {
+		fmt.Fprintf(&sb, "%-14s %7d %12.1f %12.1f %14d\n",
+			st.Stage, st.Count, st.MeanNs, st.P99Ns, st.TotalNs)
+	}
+	for _, st := range b.Stages {
+		row(st)
+	}
+	sum, _ := b.ReconcileNs()
+	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %14d\n", "= stage sum", "", "", "", sum)
+	row(b.EndToEnd)
+	if len(b.SubStages) > 0 {
+		fmt.Fprintf(&sb, "-- device sub-stages (informational) --\n")
+		for _, st := range b.SubStages {
+			row(st)
+		}
+	}
+	return sb.String()
+}

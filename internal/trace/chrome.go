@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace-event format's JSON-array
+// form (the format Perfetto and chrome://tracing load). Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1000.0 }
+
+func durPtr(startNs, endNs int64) *float64 {
+	d := usec(endNs - startNs)
+	return &d
+}
+
+// noteArgs maps a hop's note onto its stage-specific argument name.
+func noteArgs(h Hop) map[string]any {
+	switch h.Stage {
+	case StageSQDoorbell:
+		if h.Note == NoteCoalesced {
+			return map[string]any{"coalesced": true}
+		}
+	case StageNTBCross, StageCtrlFetch:
+		if h.Note > 0 {
+			return map[string]any{"crossings": h.Note}
+		}
+	case StageDataXfer:
+		if h.Note > 0 {
+			return map[string]any{"bytes": h.Note}
+		}
+	}
+	return nil
+}
+
+// WriteChrome writes spans as a Chrome trace-event JSON object. Each
+// queue becomes a "process" (pid = queue ID) and each command ID a
+// "thread" within it, so a span's stage slices nest naturally under its
+// top-level op slice in Perfetto. meta entries land in otherData.
+// Output is deterministic: spans and hops are emitted in virtual-time
+// order and all maps have sorted keys (encoding/json sorts map keys).
+func WriteChrome(w io.Writer, spans []*Span, meta map[string]string) error {
+	f := chromeFile{DisplayTimeUnit: "ns", OtherData: meta}
+	f.TraceEvents = make([]chromeEvent, 0, len(spans)*8+2)
+	seenQ := map[uint16]bool{}
+	for _, s := range spans {
+		if !seenQ[s.QID] {
+			seenQ[s.QID] = true
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: int(s.QID),
+				Args: map[string]any{"name": fmt.Sprintf("queue %d", s.QID)},
+			})
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: OpName(s.Op), Cat: "io", Ph: "X",
+			TS: usec(s.Start), Dur: durPtr(s.Start, s.End),
+			PID: int(s.QID), TID: int(s.CID),
+			Args: map[string]any{"cid": s.CID, "e2e_ns": s.Duration()},
+		})
+		for _, h := range s.Hops {
+			cat := "stage"
+			if !h.Stage.IsClientStage() {
+				cat = "hop"
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: h.Stage.String(), Cat: cat, Ph: "X",
+				TS: usec(h.Start), Dur: durPtr(h.Start, h.End),
+				PID: int(s.QID), TID: int(s.CID),
+				Args: noteArgs(h),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateChrome parses data as Chrome trace-event JSON and checks the
+// schema invariants Perfetto relies on: a traceEvents array whose
+// entries all carry a name, a known phase, non-negative timestamps, and
+// non-negative durations on complete ("X") events. It returns the event
+// count.
+func ValidateChrome(data []byte) (int, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	phases := map[string]bool{"X": true, "M": true, "B": true, "E": true, "i": true, "C": true}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		if !phases[ev.Ph] {
+			return 0, fmt.Errorf("trace: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("trace: event %d has negative ts", i)
+		}
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				return 0, fmt.Errorf("trace: complete event %d has no dur", i)
+			}
+			if *ev.Dur < 0 {
+				return 0, fmt.Errorf("trace: complete event %d has negative dur", i)
+			}
+		}
+	}
+	return len(f.TraceEvents), nil
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// MetricKind distinguishes registry entries.
+type MetricKind uint8
+
+const (
+	// KindCounter is a monotonically increasing count owned by the metric.
+	KindCounter MetricKind = iota
+	// KindGauge is a point-in-time value read from a callback at snapshot
+	// time — the idiomatic way to expose a layer's plain counter fields
+	// without making the layer depend on the registry.
+	KindGauge
+	// KindHistogram is a bounded streaming distribution (PowHistogram).
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric is one registered instrument.
+type Metric struct {
+	name  string
+	kind  MetricKind
+	count uint64
+	fn    func() float64
+	hist  *stats.PowHistogram
+}
+
+// Inc adds one to a counter.
+func (m *Metric) Inc() { m.count++ }
+
+// Add adds n to a counter.
+func (m *Metric) Add(n uint64) { m.count += n }
+
+// Observe records a value into a histogram.
+func (m *Metric) Observe(v float64) { m.hist.Add(v) }
+
+// ObserveNs records a virtual-nanosecond value into a histogram.
+func (m *Metric) ObserveNs(ns int64) { m.hist.AddNs(ns) }
+
+// MetricValue is a snapshot row, JSON-serialisable for BENCH_sim.json.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Count uint64  `json:"count,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Registry is an insertion-ordered collection of named metrics. It is the
+// process-wide wiring point: layers keep plain uint64 counter fields on
+// their own structs (zero-dependency, zero-overhead), and the cluster
+// registers gauge callbacks that read them at snapshot time.
+//
+// Registration order is preserved in Snapshot so output is deterministic.
+type Registry struct {
+	order []string
+	items map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]*Metric)}
+}
+
+func (r *Registry) register(name string, kind MetricKind) *Metric {
+	if m, ok := r.items[name]; ok {
+		return m
+	}
+	m := &Metric{name: name, kind: kind}
+	r.items[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Metric {
+	return r.register(name, KindCounter)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time. Re-registering a name replaces its callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	m := r.register(name, KindGauge)
+	m.fn = fn
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Metric {
+	m := r.register(name, KindHistogram)
+	if m.hist == nil {
+		m.hist = stats.NewPowHistogram(5)
+	}
+	return m
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.order) }
+
+// Snapshot reads every metric in registration order.
+func (r *Registry) Snapshot() []MetricValue {
+	out := make([]MetricValue, 0, len(r.order))
+	for _, name := range r.order {
+		m := r.items[name]
+		mv := MetricValue{Name: name, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			mv.Value = float64(m.count)
+			mv.Count = m.count
+		case KindGauge:
+			if m.fn != nil {
+				mv.Value = m.fn()
+			}
+		case KindHistogram:
+			mv.Count = m.hist.Count()
+			mv.Value = m.hist.Mean()
+			mv.P50 = m.hist.Percentile(50)
+			mv.P99 = m.hist.Percentile(99)
+			mv.Max = float64(m.hist.Max())
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// Dump renders a snapshot as aligned text, one metric per line.
+func (r *Registry) Dump() string {
+	var sb strings.Builder
+	for _, mv := range r.Snapshot() {
+		switch mv.Kind {
+		case "histogram":
+			fmt.Fprintf(&sb, "%-40s %-9s n=%-8d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
+				mv.Name, mv.Kind, mv.Count, mv.Value, mv.P50, mv.P99, mv.Max)
+		default:
+			fmt.Fprintf(&sb, "%-40s %-9s %.0f\n", mv.Name, mv.Kind, mv.Value)
+		}
+	}
+	return sb.String()
+}

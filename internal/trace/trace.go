@@ -1,0 +1,269 @@
+// Package trace is the simulator's observability spine: per-IO spans
+// that record every hop of an NVMe command's lifecycle in virtual time,
+// a metrics registry for layer counters, and exporters (Chrome
+// trace-event JSON for Perfetto, per-stage latency breakdowns).
+//
+// Design rules (DESIGN.md §8):
+//
+//   - Nil-off: every Tracer method is safe on a nil receiver and takes
+//     only scalar arguments, so a disabled tracer costs one nil check
+//     and zero allocations on the hot path.
+//   - Zero perturbation: recording never sleeps, never yields, and never
+//     touches the event kernel, so a traced run produces byte-identical
+//     virtual-time results to an untraced one.
+//   - Determinism: spans complete in simulation order and exports sort
+//     by virtual time, so the same seed produces a byte-identical trace
+//     file — golden-testable.
+package trace
+
+import "sort"
+
+// Stage identifies one hop of a command's lifecycle. Stages divide into
+// the client-side partition (IsClientStage), whose per-span durations sum
+// exactly to the span's end-to-end time, and informational sub-stages
+// recorded by the fabric and controller inside the client's device-wait
+// window.
+type Stage uint8
+
+// The hop taxonomy.
+const (
+	// StageSubmit is client submission software: block-layer glue,
+	// overhead sleeps, slot acquisition.
+	StageSubmit Stage = iota
+	// StageDataIn is outbound data staging: the bounce-buffer copy (or
+	// IOMMU map) before submission.
+	StageDataIn
+	// StageDevice is the client-observed device window: SQE write through
+	// completion reaped. The sub-stages below decompose it.
+	StageDevice
+	// StageReap is client completion software after the CQE is observed.
+	StageReap
+	// StageDataOut is inbound data staging: the copy out of the bounce
+	// partition after a read completes.
+	StageDataOut
+
+	// StageSQWrite is the SQE write into SQ memory, including any wait on
+	// the queue lock.
+	StageSQWrite
+	// StageSQDoorbell is the SQ tail doorbell MMIO issue. A zero-length
+	// hop with note NoteCoalesced records a doorbell saved by coalescing.
+	StageSQDoorbell
+	// StageNTBCross is the doorbell TLP's fabric flight when the path
+	// crosses NTB windows; the note carries the crossing count.
+	StageNTBCross
+	// StageCtrlFetch is the controller's SQE fetch DMA; the note carries
+	// the NTB crossing count of the fetch path.
+	StageCtrlFetch
+	// StageCtrlDecode is controller firmware decode/setup.
+	StageCtrlDecode
+	// StageMedium is the medium (flash) access.
+	StageMedium
+	// StageDataXfer is the controller's payload DMA (PRP transfer); the
+	// note carries the byte count.
+	StageDataXfer
+	// StageCQPost is completion firmware plus the CQE DMA (including any
+	// wait for CQ space).
+	StageCQPost
+	// StageCQPoll is the host poll sweep consuming the CQE.
+	StageCQPoll
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"submit", "data-in", "device", "reap", "data-out",
+	"sq-write", "sq-doorbell", "ntb-cross", "ctrl-fetch", "ctrl-decode",
+	"medium", "data-xfer", "cq-post", "cq-poll",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// IsClientStage reports whether s belongs to the reconciling client-side
+// partition: per span, the durations of these stages (plus the synthetic
+// "other" remainder) sum exactly to End-Start.
+func (s Stage) IsClientStage() bool { return s <= StageDataOut }
+
+// NoteCoalesced marks a StageSQDoorbell hop whose MMIO write was deferred
+// to a later submitter by doorbell coalescing.
+const NoteCoalesced uint64 = 1
+
+// Hop is one recorded stage interval within a span. Start and End are
+// virtual nanoseconds; Note is stage-specific (crossings, bytes, or
+// NoteCoalesced).
+type Hop struct {
+	Stage Stage
+	Start int64
+	End   int64
+	Note  uint64
+}
+
+// Span is one command's recorded lifecycle, keyed by (queue ID, command
+// ID). Seq orders spans deterministically when timestamps tie.
+type Span struct {
+	QID   uint16
+	CID   uint16
+	Op    uint8
+	Seq   uint64
+	Start int64
+	End   int64
+	Hops  []Hop
+}
+
+// Duration returns the span's end-to-end virtual time.
+func (s *Span) Duration() int64 { return s.End - s.Start }
+
+// Tracer collects spans. The zero value is not usable; create tracers
+// with New. A nil *Tracer is the disabled state: every method is a cheap
+// no-op, so instrumented code needs no guards beyond passing the pointer
+// through.
+//
+// Tracer is not internally locked: the simulation kernel guarantees one
+// process executes at a time, which also makes recording order — and
+// therefore export output — deterministic.
+type Tracer struct {
+	completed []*Span
+	open      map[uint32]*Span
+	seq       uint64
+}
+
+// New returns an enabled tracer.
+func New() *Tracer {
+	return &Tracer{open: make(map[uint32]*Span)}
+}
+
+func key(qid, cid uint16) uint32 { return uint32(qid)<<16 | uint32(cid) }
+
+// span returns the open span for (qid, cid), creating it if needed. Hops
+// may arrive before Begin (device-side hops race the client's retroactive
+// bookkeeping); the span is keyed into existence by whichever side
+// touches it first.
+func (t *Tracer) span(qid, cid uint16) *Span {
+	k := key(qid, cid)
+	if s := t.open[k]; s != nil {
+		return s
+	}
+	t.seq++
+	s := &Span{QID: qid, CID: cid, Seq: t.seq}
+	t.open[k] = s
+	return s
+}
+
+// Begin marks the span's start time and opcode. It may be called after
+// hops have already been recorded (retroactively, once the command ID is
+// known).
+func (t *Tracer) Begin(qid, cid uint16, op uint8, start int64) {
+	if t == nil {
+		return
+	}
+	s := t.span(qid, cid)
+	s.Op = op
+	s.Start = start
+}
+
+// Hop records a stage interval on the span.
+func (t *Tracer) Hop(qid, cid uint16, st Stage, start, end int64) {
+	if t == nil {
+		return
+	}
+	s := t.span(qid, cid)
+	s.Hops = append(s.Hops, Hop{Stage: st, Start: start, End: end})
+}
+
+// HopNote is Hop with a stage-specific annotation.
+func (t *Tracer) HopNote(qid, cid uint16, st Stage, start, end int64, note uint64) {
+	if t == nil {
+		return
+	}
+	s := t.span(qid, cid)
+	s.Hops = append(s.Hops, Hop{Stage: st, Start: start, End: end, Note: note})
+}
+
+// End closes the span and moves it to the completed list. Spans that are
+// never Ended (abandoned commands, admin traffic observed only by the
+// controller) are excluded from Spans().
+func (t *Tracer) End(qid, cid uint16, end int64) {
+	if t == nil {
+		return
+	}
+	k := key(qid, cid)
+	s := t.open[k]
+	if s == nil {
+		return
+	}
+	s.End = end
+	delete(t.open, k)
+	t.completed = append(t.completed, s)
+}
+
+// Drop discards the open span for (qid, cid), for error paths where the
+// command never completed.
+func (t *Tracer) Drop(qid, cid uint16) {
+	if t == nil {
+		return
+	}
+	delete(t.open, key(qid, cid))
+}
+
+// Spans returns completed spans ordered by (start time, sequence), each
+// with hops sorted by start time. Safe to call repeatedly.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	sort.SliceStable(t.completed, func(i, j int) bool {
+		a, b := t.completed[i], t.completed[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Seq < b.Seq
+	})
+	for _, s := range t.completed {
+		hops := s.Hops
+		sort.SliceStable(hops, func(i, j int) bool { return hops[i].Start < hops[j].Start })
+	}
+	return t.completed
+}
+
+// OpenSpans returns the number of spans touched but never Ended, for
+// leak checks in tests.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.open)
+}
+
+// Reset discards all recorded state, keeping the tracer enabled.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.completed = nil
+	t.open = make(map[uint32]*Span)
+}
+
+// OpName renders an NVMe I/O opcode for display (spec encodings; the
+// tracer cannot import package nvme, which imports it).
+func OpName(op uint8) string {
+	switch op {
+	case 0x00:
+		return "flush"
+	case 0x01:
+		return "write"
+	case 0x02:
+		return "read"
+	case 0x05:
+		return "compare"
+	case 0x08:
+		return "write-zeroes"
+	case 0x09:
+		return "dsm"
+	}
+	const hex = "0123456789abcdef"
+	return "op-0x" + string([]byte{hex[op>>4], hex[op&0xF]})
+}
