@@ -2,11 +2,21 @@
 // a single-function NVMe controller shared by up to 31 remote hosts
 // simultaneously (§VI). It builds an N+1-host PCIe cluster, starts the
 // manager on the device host, attaches one distributed-driver client per
-// remote host, and runs verified parallel I/O on all of them.
+// remote host, and runs verified parallel I/O on all of them, printing a
+// per-host fairness table (device share, Jain index, p99 spread) at the
+// end.
+//
+// With -serve the run exposes live introspection endpoints — /metrics
+// (Prometheus text exposition), /telemetry.json and /healthz — that can
+// be scraped while the simulation executes; -linger keeps serving after
+// the run completes. -baseline adds one extra host running the stock
+// in-kernel driver against a private controller so every driver layer
+// (pcie, ntb, nvme, hostdriver) shows up in the exported series.
 //
 // Usage:
 //
-//	clusterdemo [-hosts N] [-ios N] [-qd N]
+//	clusterdemo [-hosts N] [-ios N] [-qd N] [-interval NS]
+//	            [-serve 127.0.0.1:9120] [-linger] [-baseline]
 package main
 
 import (
@@ -14,20 +24,21 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/block"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/fio"
-	"repro/internal/pcie"
-	"repro/internal/sim"
-	"repro/internal/smartio"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		hosts = flag.Int("hosts", 31, "number of client hosts sharing the device (max 31)")
-		ios   = flag.Int("ios", 200, "measured I/Os per client")
-		qd    = flag.Int("qd", 4, "queue depth per client")
+		hosts    = flag.Int("hosts", 31, "number of client hosts sharing the device (max 31)")
+		ios      = flag.Int("ios", 200, "measured I/Os per client")
+		qd       = flag.Int("qd", 4, "queue depth per client")
+		interval = flag.Int64("interval", 100_000, "telemetry sampling interval in virtual ns")
+		serve    = flag.String("serve", "", "serve live /metrics, /telemetry.json and /healthz on this address (e.g. 127.0.0.1:9120)")
+		linger   = flag.Bool("linger", false, "with -serve, keep serving after the run completes until interrupted")
+		baseline = flag.Bool("baseline", false, "add a local-baseline host on the stock driver with a private controller")
 	)
 	flag.Parse()
 	if *hosts < 1 || *hosts > 31 {
@@ -35,83 +46,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := cluster.New(cluster.Config{Hosts: *hosts + 1, MemBytes: 16 << 20, AdapterWindows: 1024})
-	if err != nil {
-		fatal(err)
-	}
-	ctrl, err := c.AttachNVMe(0, cluster.NVMeConfig{})
-	if err != nil {
-		fatal(err)
-	}
-	svc := smartio.NewService(c.Dir)
-	dev, err := svc.Register(0, "nvme0", pcie.Range{Base: cluster.NVMeBARBase, Size: cluster.NVMeBARSize})
-	if err != nil {
-		fatal(err)
-	}
-
-	type outcome struct {
-		host int
-		res  *fio.Result
-		err  error
-	}
-	results := make([]outcome, 0, *hosts)
-	var elapsed sim.Duration
-
-	c.Go("main", func(p *sim.Proc) {
-		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, core.ManagerParams{})
+	reg := trace.NewRegistry()
+	pipe := telemetry.NewPipeline(reg, telemetry.Config{IntervalNs: *interval})
+	if *serve != "" {
+		srv, err := telemetry.Serve(*serve, pipe)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("manager on host 0: device %q, %d I/O queue pairs, serial %s\n",
-			"nvme0", mgr.Metadata().MaxQueues, mgr.Metadata().Serial)
-		start := p.Now()
-		done := make([]*sim.Event, 0, *hosts)
-		for i := 1; i <= *hosts; i++ {
-			host := i
-			fin := sim.NewEvent(c.K)
-			done = append(done, fin)
-			c.Go(fmt.Sprintf("client%d", host), func(cp *sim.Proc) {
-				defer fin.Trigger(nil)
-				cl, err := core.NewClient(cp, fmt.Sprintf("dnvme%d", host), svc,
-					c.Hosts[host].Node, mgr,
-					core.ClientParams{QueueDepth: *qd + 1, PartitionBytes: 16 << 10})
-				if err != nil {
-					results = append(results, outcome{host: host, err: err})
-					return
-				}
-				q := block.NewQueue(c.K, cl, block.QueueParams{})
-				res, err := fio.Run(cp, q, fio.JobSpec{
-					Name: fmt.Sprintf("host%d", host), Op: fio.RandRW,
-					QueueDepth: *qd, MaxIOs: *ios,
-					RangeBlocks: 1 << 14, Seed: int64(host), Prefill: false,
-				})
-				results = append(results, outcome{host: host, res: res, err: err})
-			})
-		}
-		for _, fin := range done {
-			p.Wait(fin)
-		}
-		elapsed = p.Now() - start
-	})
-	c.Run()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics /telemetry.json /healthz on http://%s\n", srv.Addr())
+	}
 
-	totalIOs, failed := 0, 0
-	for _, o := range results {
-		if o.err != nil {
-			fmt.Printf("  host %2d: FAILED: %v\n", o.host, o.err)
+	res, err := cluster.RunMultiHost(cluster.MultiHostConfig{
+		Hosts: *hosts, QueueDepth: *qd, IOsPerHost: *ios, Op: fio.RandRW,
+		Registry: reg, Pipeline: pipe, LocalBaseline: *baseline,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := 0
+	for _, o := range res.PerHost {
+		role := "client"
+		if *baseline && o.Host == *hosts+1 {
+			role = "local-baseline"
+		}
+		if o.Err != nil {
+			fmt.Printf("  host %2d (%s): FAILED: %v\n", o.Host, role, o.Err)
 			failed++
 			continue
 		}
-		totalIOs += o.res.IOs + o.res.Errors
-		fmt.Printf("  host %2d: %s\n", o.host, o.res)
+		fmt.Printf("  host %2d (%s): %s\n", o.Host, role, o.Res)
 	}
-	fmt.Printf("\n%d clients shared one single-function controller in parallel\n", len(results)-failed)
-	if elapsed > 0 {
-		fmt.Printf("aggregate: %d I/Os in %.2f virtual ms (%.0f IOPS)\n",
-			totalIOs, float64(elapsed)/1e6,
-			float64(totalIOs)/(float64(elapsed)/float64(sim.Second)))
+	fmt.Printf("\n%d clients shared one single-function controller in parallel\n", len(res.PerHost)-failed)
+	fmt.Printf("aggregate: %d I/Os in %.2f virtual ms (%.0f IOPS)\n",
+		res.TotalIOs, float64(res.ElapsedNs)/1e6, res.AggIOPS())
+	if res.Fairness != nil {
+		fmt.Printf("\nfairness attribution (%d samples at %d ns):\n%s",
+			pipe.Samples(), *interval, res.Fairness.Table())
 	}
-	fmt.Printf("controller stats: %+v\n", ctrl.Stats)
+	if *linger && *serve != "" {
+		fmt.Fprintln(os.Stderr, "lingering; ctrl-C to exit")
+		select {}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

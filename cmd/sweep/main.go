@@ -8,6 +8,8 @@
 //	sweep -what qd|hops|size|hosts [-op read|write] [-ios N]
 //	sweep -wallclock [-ios N] [-out BENCH_sim.json]
 //	sweep -trace out.json [-scenario ours-remote] [-qd 4] [-op read|write] [-ios N]
+//	sweep -telemetry out.json [-hosts N] [-qd D] [-ios N] [-interval NS]
+//	sweep -serve 127.0.0.1:9120 [-linger] [-telemetry out.json]
 //
 // The -wallclock mode measures the simulator itself (not the simulated
 // system): kernel events dispatched per real second and real nanoseconds
@@ -19,6 +21,13 @@
 // per-stage latency-breakdown table on stdout. The file is a pure
 // function of the scenario and seed: the same invocation produces
 // byte-identical output.
+//
+// The -telemetry mode runs the multihost fairness scenario (N clients
+// sharing the single-function controller, plus one local-baseline host
+// on the stock driver) with the virtual-time sampling pipeline attached
+// and writes the pipeline's deterministic JSON dump. Add -serve to
+// expose live /metrics (Prometheus text), /telemetry.json and /healthz
+// while the run executes; -linger keeps serving afterwards.
 package main
 
 import (
@@ -27,15 +36,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fio"
 	"repro/internal/nvme"
-	"repro/internal/pcie"
 	"repro/internal/sim"
-	"repro/internal/smartio"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -49,6 +58,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "run one traced scenario and write Chrome trace-event JSON to this path")
 		scenario  = flag.String("scenario", "ours-remote", "scenario for -trace")
 		qd        = flag.Int("qd", 4, "queue depth for -trace")
+		telOut    = flag.String("telemetry", "", "run the multihost fairness scenario with virtual-time sampling and write deterministic telemetry JSON to this path")
+		hosts     = flag.Int("hosts", 4, "client hosts for -telemetry")
+		interval  = flag.Int64("interval", 100_000, "telemetry sampling interval in virtual ns")
+		serve     = flag.String("serve", "", "serve live /metrics, /telemetry.json and /healthz on this address during -telemetry (e.g. 127.0.0.1:9120)")
+		linger    = flag.Bool("linger", false, "with -serve, keep serving after the run completes until interrupted")
 	)
 	flag.Parse()
 	fop := fio.RandRead
@@ -59,8 +73,12 @@ func main() {
 		runTrace(*scenario, fop, *op, *qd, *ios, *traceOut)
 		return
 	}
+	if *telOut != "" || *serve != "" {
+		runTelemetry(*telOut, *hosts, *qd, *ios, *interval, *serve, *linger)
+		return
+	}
 	if *wallclock {
-		sweepWallclock(fop, *ios, *out)
+		sweepWallclock(fop, *ios, *interval, *out)
 		return
 	}
 	switch *what {
@@ -71,10 +89,53 @@ func main() {
 	case "size":
 		sweepSize(*ios)
 	case "hosts":
-		sweepHosts(*ios)
+		sweepHosts(*ios, *interval)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown -what %q\n", *what)
 		os.Exit(2)
+	}
+}
+
+// runTelemetry executes the multihost fairness scenario with the
+// virtual-time sampling pipeline attached, optionally serving the live
+// introspection endpoints during the run, and writes the pipeline's
+// deterministic JSON dump. The file contains only virtual-time state:
+// the same invocation produces byte-identical output, which CI checks.
+func runTelemetry(out string, hosts, qd, ios int, intervalNs int64, serveAddr string, linger bool) {
+	reg := trace.NewRegistry()
+	pipe := telemetry.NewPipeline(reg, telemetry.Config{IntervalNs: intervalNs})
+	if serveAddr != "" {
+		srv, err := telemetry.Serve(serveAddr, pipe)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics /telemetry.json /healthz on http://%s\n", srv.Addr())
+	}
+	res, err := cluster.RunMultiHost(cluster.MultiHostConfig{
+		Hosts: hosts, QueueDepth: qd, IOsPerHost: ios, Seed: 7, Op: fio.RandRW,
+		Registry: reg, Pipeline: pipe, LocalBaseline: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d hosts + local baseline: %d IOs in %.2f virtual ms (%.0f IOPS)\n\n",
+		hosts, res.TotalIOs, float64(res.ElapsedNs)/1e6, res.AggIOPS())
+	fmt.Print(res.Fairness.Table())
+	if out != "" {
+		data, err := pipe.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d samples, %d series)\n", out, pipe.Samples(), len(pipe.Series()))
+	}
+	if linger && serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "lingering; ctrl-C to exit")
+		select {}
 	}
 }
 
@@ -154,8 +215,9 @@ type wallclockRun struct {
 
 // benchSchemaVersion stamps BENCH_sim.json so downstream tooling can
 // detect layout changes. Bump when fields are added, removed or change
-// meaning.
-const benchSchemaVersion = 2
+// meaning. v3: per-stage p50/p95/p999 in breakdowns, labeled metric
+// rows, telemetry sampling-interval config echo.
+const benchSchemaVersion = 3
 
 // sweepConfig echoes the scenario configuration a report was produced
 // with, so a BENCH_sim.json is self-describing.
@@ -167,6 +229,10 @@ type sweepConfig struct {
 	RangeBlocks int      `json:"range_blocks"`
 	Seed        int64    `json:"seed"`
 	Scenarios   []string `json:"scenarios"`
+	// TelemetryIntervalNs echoes the virtual-time sampling interval the
+	// telemetry pipeline would use (-interval), so consumers of the
+	// metric rows know the cadence they were produced under.
+	TelemetryIntervalNs int64 `json:"telemetry_interval_ns"`
 }
 
 // scenarioBreakdown is one scenario's per-stage latency decomposition
@@ -189,7 +255,7 @@ type wallclockReport struct {
 
 // sweepWallclock measures simulator throughput per scenario at QD1 and
 // QD8 and writes the JSON report.
-func sweepWallclock(op fio.Op, ios int, out string) {
+func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
 	if ios <= 0 {
 		fatal(fmt.Errorf("-wallclock needs -ios > 0 (got %d)", ios))
 	}
@@ -208,7 +274,8 @@ func sweepWallclock(op fio.Op, ios int, out string) {
 		Config: sweepConfig{
 			Op: opName, IOs: ios, QueueDepths: []int{1, 8},
 			WarmupIOs: 20, RangeBlocks: 1 << 16, Seed: 7,
-			Scenarios: names,
+			Scenarios:           names,
+			TelemetryIntervalNs: telemetryIntervalNs,
 		},
 	}
 	for _, s := range cluster.Scenarios() {
@@ -368,61 +435,27 @@ func sweepSize(ios int) {
 	}
 }
 
-// sweepHosts: concurrent client hosts vs aggregate IOPS (E10 curve).
-func sweepHosts(iosPerHost int) {
-	fmt.Println("hosts,aggregate_viops")
+// sweepHosts: concurrent client hosts vs aggregate IOPS (E10 curve),
+// with a per-host fairness summary (share of the device, Jain index,
+// tail-latency spread) printed after each point — the single-function
+// controller must not just scale, it must share evenly.
+func sweepHosts(iosPerHost int, telemetryIntervalNs int64) {
+	fmt.Println("hosts,aggregate_viops,jain,p99_spread_us")
 	for _, k := range []int{1, 2, 4, 8, 12, 16, 24, 31} {
-		fmt.Printf("%d,%.0f\n", k, multiHostIOPS(k, iosPerHost/4))
-	}
-}
-
-func multiHostIOPS(clients, iosPerClient int) float64 {
-	c, err := cluster.New(cluster.Config{Hosts: clients + 1, MemBytes: 16 << 20, AdapterWindows: 1024})
-	if err != nil {
-		fatal(err)
-	}
-	if _, err := c.AttachNVMe(0, cluster.NVMeConfig{}); err != nil {
-		fatal(err)
-	}
-	svc := smartio.NewService(c.Dir)
-	dev, err := svc.Register(0, "nvme0", pcie.Range{Base: cluster.NVMeBARBase, Size: cluster.NVMeBARSize})
-	if err != nil {
-		fatal(err)
-	}
-	total := 0
-	var elapsed sim.Duration
-	c.Go("main", func(p *sim.Proc) {
-		mgr, err := core.NewManager(p, svc, dev.ID, c.Hosts[0].Node, core.ManagerParams{})
+		reg := trace.NewRegistry()
+		pipe := telemetry.NewPipeline(reg, telemetry.Config{IntervalNs: telemetryIntervalNs})
+		res, err := cluster.RunMultiHost(cluster.MultiHostConfig{
+			Hosts: k, QueueDepth: 8, IOsPerHost: iosPerHost / 4, Seed: 7,
+			Client:   core.ClientParams{QueueDepth: 8, PartitionBytes: 8192},
+			Registry: reg, Pipeline: pipe,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		start := p.Now()
-		done := make([]*sim.Event, 0, clients)
-		for i := 1; i <= clients; i++ {
-			host := i
-			fin := sim.NewEvent(c.K)
-			done = append(done, fin)
-			c.Go("client", func(cp *sim.Proc) {
-				defer fin.Trigger(nil)
-				cl, err := core.NewClient(cp, "cl", svc, c.Hosts[host].Node, mgr,
-					core.ClientParams{QueueDepth: 8, PartitionBytes: 8192})
-				if err != nil {
-					return
-				}
-				buf := make([]byte, 4096)
-				for k := 0; k < iosPerClient; k++ {
-					if cl.ReadBlocks(cp, uint64(host*100000+k*8), 8, buf) == nil {
-						total++
-					}
-				}
-			})
+		f := res.Fairness
+		fmt.Printf("%d,%.0f,%.4f,%.2f\n", k, res.AggIOPS(), f.JainIndex, f.P99SpreadNs/1000)
+		for _, line := range strings.Split(strings.TrimRight(f.Table(), "\n"), "\n") {
+			fmt.Printf("#   %s\n", line)
 		}
-		p.WaitAll(done...)
-		elapsed = p.Now() - start
-	})
-	c.Run()
-	if elapsed == 0 {
-		return 0
 	}
-	return float64(total) / (float64(elapsed) / float64(sim.Second))
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Device is the driver-side interface a block device implements.
@@ -147,7 +148,15 @@ type Queue struct {
 	// Submitted and Completed count requests for observability.
 	Submitted uint64
 	Completed uint64
+
+	latHist *stats.PowHistogram
 }
+
+// SetLatencyHist attaches a histogram that records each request's
+// submit-to-completion latency in virtual ns. Pure accounting: it adds
+// no simulated cost and never touches the kernel, so attaching it leaves
+// virtual-time results bit-identical. Pass nil to detach.
+func (q *Queue) SetLatencyHist(h *stats.PowHistogram) { q.latHist = h }
 
 // NewQueue creates the request queue and starts its workers.
 func NewQueue(k *sim.Kernel, dev Device, params QueueParams) *Queue {
@@ -213,6 +222,9 @@ func (q *Queue) worker(p *sim.Proc) {
 		err := q.dispatch(p, req)
 		p.Sleep(q.params.CompleteNs)
 		q.Completed++
+		if q.latHist != nil {
+			q.latHist.AddNs(p.Now() - req.submitted)
+		}
 		if err != nil {
 			req.Done.Trigger(err)
 		} else {

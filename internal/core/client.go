@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sisci"
 	"repro/internal/smartio"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -186,7 +187,18 @@ type Client struct {
 	BounceBytes uint64
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
+	// latHist, when set, receives each completed I/O's end-to-end
+	// latency in virtual nanoseconds (see SetLatencyHist).
+	latHist *stats.PowHistogram
 }
+
+// SetLatencyHist attaches a histogram that observes every completed
+// read/write's end-to-end latency (submission entry to completion-path
+// exit, virtual ns). The telemetry layer uses one per host to attribute
+// tail latency to the host that experienced it. Pass nil to detach.
+// Observation happens on the simulation loop; the histogram must not be
+// read concurrently with a run.
+func (c *Client) SetLatencyHist(h *stats.PowHistogram) { c.latHist = h }
 
 // PhaseStats decomposes client I/O time: driver submission software,
 // bounce-buffer copies (or IOMMU map/unmap in zero-copy mode), the wait
@@ -586,6 +598,9 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	// split it back out so the decomposition matches the path structure.
 	c.Phases.DeviceNs += (deviceDone - inCopyDone) - c.params.CompleteOverheadNs
 	c.Phases.CompleteNs += c.params.CompleteOverheadNs
+	if c.latHist != nil {
+		c.latHist.AddNs(p.Now() - phaseStart)
+	}
 	if tr := c.params.Tracer; tr != nil {
 		// Close the span retroactively: the CID only exists after exec, but
 		// the queue view and controller have already attached their hops to

@@ -105,6 +105,25 @@ type ioQueue struct {
 	free *sim.Semaphore
 	drv  *Driver
 	id   uint16
+	// submitted and completed count commands through this queue, for
+	// per-queue telemetry attribution.
+	submitted uint64
+	completed uint64
+}
+
+// QueueStats are one I/O queue's driver-side counters: command traffic
+// plus the doorbell/coalescing counters of its QueueView.
+type QueueStats struct {
+	QID       uint16
+	Submitted uint64
+	Completed uint64
+	// Doorbell counters mirror the queue view (driver-side MMIO writes
+	// and coalescing savings).
+	SQDoorbells      uint64
+	SQDoorbellsSaved uint64
+	CQDoorbells      uint64
+	CQRingsSaved     uint64
+	Inflight         int
 }
 
 // Driver is an initialized local NVMe driver instance.
@@ -273,6 +292,39 @@ func (d *Driver) SMART(p *sim.Proc) (nvme.SMARTLog, error) {
 // Queues returns the number of I/O queues created.
 func (d *Driver) Queues() int { return len(d.queues) }
 
+// QueueStats returns per-queue driver-side counters in queue order, the
+// attribution surface telemetry wires as {host,qid}-labeled gauges.
+func (d *Driver) QueueStats() []QueueStats {
+	out := make([]QueueStats, 0, len(d.queues))
+	for _, q := range d.queues {
+		v := q.view
+		out = append(out, QueueStats{
+			QID: q.id, Submitted: q.submitted, Completed: q.completed,
+			SQDoorbells: v.SQDoorbells, SQDoorbellsSaved: v.SQDoorbellsSaved,
+			CQDoorbells: v.CQDoorbells, CQRingsSaved: v.CQRingsSaved,
+			Inflight: v.Inflight(),
+		})
+	}
+	return out
+}
+
+// QueueStat returns one queue's counters by queue ID (zero value if no
+// such queue) — the gauge-callback-friendly form of QueueStats.
+func (d *Driver) QueueStat(qid uint16) QueueStats {
+	for _, q := range d.queues {
+		if q.id == qid {
+			v := q.view
+			return QueueStats{
+				QID: q.id, Submitted: q.submitted, Completed: q.completed,
+				SQDoorbells: v.SQDoorbells, SQDoorbellsSaved: v.SQDoorbellsSaved,
+				CQDoorbells: v.CQDoorbells, CQRingsSaved: v.CQRingsSaved,
+				Inflight: v.Inflight(),
+			}
+		}
+	}
+	return QueueStats{}
+}
+
 // pick selects a queue round-robin (stand-in for per-CPU queues).
 func (d *Driver) pick() *ioQueue {
 	q := d.queues[d.rr%len(d.queues)]
@@ -353,9 +405,11 @@ func (q *ioQueue) exec(p *sim.Proc, cmd *nvme.SQE, data []byte) error {
 		tr.Drop(q.id, cid)
 		return err
 	}
+	q.submitted++
 	tSubmit := p.Now()
 	p.Wait(ctx.done)
 	end := p.Now()
+	q.completed++
 	// The span partition for this driver is submit + device: completion
 	// handling (IRQ entry, ISR sweep) is accounted inside the device
 	// window because the waiter has no timestamp for when the CQE landed.

@@ -316,6 +316,7 @@ func (c *Controller) ioRead(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	}
 	c.tracer.HopNote(qid, cmd.CID, trace.StageDataXfer, t0, p.Now(), uint64(n))
 	c.Stats.ReadCmds++
+	c.qstats[qid].ReadCmds++
 	return StatusOK
 }
 
@@ -339,6 +340,7 @@ func (c *Controller) ioWrite(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	}
 	c.tracer.Hop(qid, cmd.CID, trace.StageMedium, t0, p.Now())
 	c.Stats.WriteCmds++
+	c.qstats[qid].WriteCmds++
 	return StatusOK
 }
 

@@ -106,6 +106,23 @@ type compQueue struct {
 	sqCount int // SQs mapped to this CQ
 }
 
+// QueueStats are per-submission-queue counters, the attribution layer
+// for multi-host sharing: each host owns its queue pair(s), so a queue's
+// counters are that host's share of the device. Telemetry wires these as
+// {host,qid}-labeled series.
+type QueueStats struct {
+	// Fetched counts SQE fetch DMAs issued for this queue.
+	Fetched uint64
+	// ReadCmds and WriteCmds count successfully executed I/O commands.
+	ReadCmds  uint64
+	WriteCmds uint64
+	// Completions counts CQEs posted to this queue's paired CQ.
+	Completions uint64
+	// SQDoorbells counts tail doorbell register writes for this queue
+	// (the device-side view of this host's ring traffic).
+	SQDoorbells uint64
+}
+
 // Stats are controller counters exposed for tests and tools.
 type Stats struct {
 	AdminCmds   uint64
@@ -163,6 +180,8 @@ type Controller struct {
 	// Stats is exported state for observability; not part of the device
 	// model.
 	Stats Stats
+	// qstats attributes work to individual queues, indexed by SQ ID.
+	qstats []QueueStats
 
 	// tracer records device-side hops (fetch, decode, medium, transfer,
 	// completion post) on the span keyed by (SQ ID, CID). Nil when
@@ -185,6 +204,7 @@ func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Me
 		sqs:    make([]*subQueue, p.MaxQueuePairs),
 		cqs:    make([]*compQueue, p.MaxQueuePairs),
 		msi:    make([]MSIEntry, p.MaxQueuePairs),
+		qstats: make([]QueueStats, p.MaxQueuePairs),
 		ident: IdentifyController{
 			VID:      0x8086,
 			SSVID:    0x8086,
@@ -421,6 +441,7 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 			return
 		}
 		c.Stats.SQDoorbellWrites++
+		c.qstats[qid].SQDoorbells++
 		sq.tail = val
 		c.doorbell.Set()
 	} else {
@@ -474,6 +495,28 @@ func (c *Controller) run(p *sim.Proc) {
 	}
 }
 
+// QueueStats returns the per-queue counters for SQ qid (zero value for
+// out-of-range or never-created queues).
+func (c *Controller) QueueStats(qid uint16) QueueStats {
+	if int(qid) >= len(c.qstats) {
+		return QueueStats{}
+	}
+	return c.qstats[qid]
+}
+
+// ActiveIOQueues lists the created I/O submission queue IDs in ascending
+// order (the admin queue, qid 0, is excluded). Telemetry uses this to
+// wire per-queue labeled gauges after bring-up.
+func (c *Controller) ActiveIOQueues() []uint16 {
+	var out []uint16
+	for i := 1; i < len(c.sqs); i++ {
+		if sq := c.sqs[i]; sq != nil && sq.created {
+			out = append(out, uint16(i))
+		}
+	}
+	return out
+}
+
 // cmbAt returns the CMB backing slice for a device-domain address range,
 // or nil when the range is outside the CMB (or it is disabled).
 func (c *Controller) cmbAt(addr pcie.Addr, n int) []byte {
@@ -520,6 +563,7 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 		return
 	}
 	c.Stats.Fetches++
+	c.qstats[sq.id].Fetched++
 	cmd := UnmarshalSQE(buf)
 	if tr != nil {
 		var cross uint64
@@ -577,6 +621,7 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 	}
 	c.tracer.Hop(sq.id, cid, trace.StageCQPost, t0, p.Now())
 	c.Stats.Completions++
+	c.qstats[sq.id].Completions++
 	if cq.ien {
 		c.interrupt(p, cq.iv)
 	}

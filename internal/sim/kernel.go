@@ -183,12 +183,18 @@ type Kernel struct {
 	nprocs      int
 	executed    uint64
 	parked      waiterSet
+	// tickers are weak repeating timers driven by the Run loop (telemetry
+	// samplers). nextTick caches the earliest pending tick so the hot path
+	// pays one comparison; MaxTime when no ticker is armed.
+	tickers  []*Ticker
+	nextTick Time
 	// Observability counters (plain increments on the hot path; read via
 	// Stats). They never affect scheduling.
 	scheduled    uint64
 	runQueued    uint64
 	poolMisses   uint64
 	inlineSleeps uint64
+	ticks        uint64
 }
 
 // KernelStats is a snapshot of the kernel's scheduler-work counters. All
@@ -199,6 +205,7 @@ type KernelStats struct {
 	RunQueued    uint64 // same-timestamp items that bypassed the heap
 	PoolMisses   uint64 // item allocations because the pool was empty
 	InlineSleeps uint64 // Sleep fast-path clock advances (no item at all)
+	Ticks        uint64 // ticker firings (not counted in Executed)
 }
 
 // Stats returns the kernel's scheduler-work counters.
@@ -209,12 +216,13 @@ func (k *Kernel) Stats() KernelStats {
 		RunQueued:    k.runQueued,
 		PoolMisses:   k.poolMisses,
 		InlineSleeps: k.inlineSleeps,
+		Ticks:        k.ticks,
 	}
 }
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{ack: make(chan struct{})}
+	return &Kernel{ack: make(chan struct{}), nextTick: MaxTime}
 }
 
 // Now returns the current virtual time.
@@ -315,6 +323,81 @@ func (k *Kernel) After(d Duration, fn func()) {
 		d = 0
 	}
 	k.schedule(k.now+d, fn)
+}
+
+// Ticker is a weak repeating timer: fn fires at every multiple of the
+// interval, but only while other simulation work remains, so a ticker
+// never keeps RunAll alive on its own. This is the sampling primitive
+// for virtual-time telemetry: a sampler observes the system at a fixed
+// virtual cadence without scheduling kernel items, which means it cannot
+// perturb event ordering, Executed counts, or I/O timing.
+//
+// Ordering: a tick due at time T fires before any scheduled item at T,
+// so a sample at T sees the state strictly before T's events run. fn
+// runs inline on the kernel goroutine and must not block; it may read
+// simulation state freely.
+type Ticker struct {
+	k        *Kernel
+	interval Duration
+	next     Time
+	fn       func(now Time)
+	stopped  bool
+}
+
+// NewTicker arms a ticker firing fn every interval of virtual time,
+// starting at now+interval. Panics if interval is not positive.
+func (k *Kernel) NewTicker(interval Duration, fn func(now Time)) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: ticker interval must be positive, got %d", interval))
+	}
+	tk := &Ticker{k: k, interval: interval, next: k.now + interval, fn: fn}
+	k.tickers = append(k.tickers, tk)
+	k.refreshNextTick()
+	return tk
+}
+
+// Stop disarms the ticker. Safe to call more than once.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.k.refreshNextTick()
+}
+
+// refreshNextTick recomputes the earliest pending tick, compacting out
+// stopped tickers.
+func (k *Kernel) refreshNextTick() {
+	k.nextTick = MaxTime
+	live := k.tickers[:0]
+	for _, tk := range k.tickers {
+		if tk.stopped {
+			continue
+		}
+		live = append(live, tk)
+		if tk.next < k.nextTick {
+			k.nextTick = tk.next
+		}
+	}
+	for i := len(live); i < len(k.tickers); i++ {
+		k.tickers[i] = nil
+	}
+	k.tickers = live
+}
+
+// fireTickers advances the clock to the earliest pending tick and fires
+// every ticker due at that instant, in arming order.
+func (k *Kernel) fireTickers() {
+	t := k.nextTick
+	k.now = t
+	for _, tk := range k.tickers {
+		if !tk.stopped && tk.next == t {
+			tk.next = t + tk.interval
+			k.ticks++
+			tk.fn(t)
+		}
+	}
+	k.refreshNextTick()
 }
 
 // Stopped is the panic value used to unwind processes when the kernel shuts
@@ -418,7 +501,7 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	k := p.k
 	t := k.now + d
-	if k.dispatching && !k.stopping && t <= k.limit &&
+	if k.dispatching && !k.stopping && t <= k.limit && t < k.nextTick &&
 		k.rqh >= len(k.runq) && (len(k.heap) == 0 || k.heap[0].t > t) {
 		k.now = t
 		k.executed++
@@ -476,14 +559,23 @@ func (k *Kernel) Run(limit Time) Time {
 	k.limit = limit
 	defer func() { k.dispatching = false }()
 	for {
-		if k.rqh >= len(k.runq) {
-			if len(k.heap) == 0 {
-				break
-			}
-			if k.heap[0].t > limit {
-				k.now = limit
-				return k.now
-			}
+		var tnext Time
+		if k.rqh < len(k.runq) {
+			tnext = k.now
+		} else if len(k.heap) > 0 {
+			tnext = k.heap[0].t
+		} else {
+			break
+		}
+		if tnext > limit {
+			k.now = limit
+			return k.now
+		}
+		// Weak-timer semantics: ticks fire only when simulation work
+		// remains at or after the tick time within the limit.
+		if k.nextTick <= tnext {
+			k.fireTickers()
+			continue
 		}
 		it := k.next()
 		k.now = it.t

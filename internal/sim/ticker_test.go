@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+// TestTickerFiresAtIntervals: a ticker observes the virtual clock at
+// every multiple of its interval while work remains.
+func TestTickerFiresAtIntervals(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.NewTicker(100, func(now Time) { fired = append(fired, now) })
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(130)
+		}
+	})
+	k.RunAll()
+	k.Shutdown()
+	// Worker ends at 650; ticks due at 100..600 fire (the tick at 700
+	// has no remaining work to ride on).
+	want := []Time{100, 200, 300, 400, 500, 600}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if k.Stats().Ticks != uint64(len(want)) {
+		t.Errorf("Ticks = %d, want %d", k.Stats().Ticks, len(want))
+	}
+}
+
+// TestTickerDoesNotKeepSimAlive: with no other work, RunAll returns
+// immediately instead of ticking forever.
+func TestTickerDoesNotKeepSimAlive(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.NewTicker(10, func(Time) { n++ })
+	end := k.RunAll()
+	if end != 0 || n != 0 {
+		t.Fatalf("empty sim ran to %d with %d ticks; want 0, 0", end, n)
+	}
+}
+
+// TestTickerStop: a stopped ticker never fires again.
+func TestTickerStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var tk *Ticker
+	tk = k.NewTicker(100, func(now Time) {
+		n++
+		if now >= 300 {
+			tk.Stop()
+		}
+	})
+	k.Spawn("worker", func(p *Proc) { p.Sleep(1000) })
+	k.RunAll()
+	k.Shutdown()
+	if n != 3 {
+		t.Errorf("ticker fired %d times, want 3 (stopped at 300)", n)
+	}
+}
+
+// TestTickerFiresBeforeSameTimeEvents: a tick due at T observes state
+// before T's scheduled items run.
+func TestTickerFiresBeforeSameTimeEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.NewTicker(100, func(Time) { order = append(order, "tick") })
+	k.After(100, func() { order = append(order, "event") })
+	k.RunAll()
+	if len(order) != 2 || order[0] != "tick" || order[1] != "event" {
+		t.Fatalf("order = %v, want [tick event]", order)
+	}
+}
+
+// TestTickerDoesNotPerturbTiming: the same workload produces identical
+// virtual end times and Executed counts with and without a ticker —
+// sampling must be invisible to the simulation.
+func TestTickerDoesNotPerturbTiming(t *testing.T) {
+	run := func(withTicker bool) (Time, uint64) {
+		k := NewKernel()
+		if withTicker {
+			k.NewTicker(37, func(Time) {}) // deliberately misaligned cadence
+		}
+		sig := NewSignal(k)
+		k.Spawn("producer", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(25)
+				sig.Set()
+			}
+		})
+		k.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.WaitSignal(sig)
+				p.Sleep(13)
+			}
+		})
+		end := k.RunAll()
+		k.Shutdown()
+		return end, k.Executed()
+	}
+	endOff, execOff := run(false)
+	endOn, execOn := run(true)
+	if endOff != endOn {
+		t.Errorf("end times differ: off=%d on=%d", endOff, endOn)
+	}
+	if execOff != execOn {
+		t.Errorf("Executed differs: off=%d on=%d", execOff, execOn)
+	}
+}
+
+// TestTwoTickersSameInstant: tickers due at the same time fire in arming
+// order.
+func TestTwoTickersSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.NewTicker(100, func(Time) { order = append(order, "a") })
+	k.NewTicker(50, func(Time) { order = append(order, "b") })
+	k.Spawn("worker", func(p *Proc) { p.Sleep(120) })
+	k.RunAll()
+	k.Shutdown()
+	// At t=50: b. At t=100: a then b (arming order). t=150 has no work.
+	want := []string{"b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+// HistWindow tracks interval (delta) views of a PowHistogram between
+// successive Advance calls. The telemetry sampler uses one per
+// registered histogram: each virtual-time tick it computes quantiles of
+// only the values recorded since the previous tick, so a time series of
+// interval p50/p95/p99/p999 can be built from a single cumulative
+// histogram without retaining per-observation data.
+//
+// The window keeps a private copy of the histogram's bucket counts
+// (fixed memory, reused across Advance calls) — it never mutates the
+// underlying histogram.
+type HistWindow struct {
+	h         *PowHistogram
+	prev      []uint64
+	prevCount uint64
+	prevSum   float64
+}
+
+// NewHistWindow opens a window over h starting at h's current state:
+// the first Advance reports only values recorded after this call.
+func NewHistWindow(h *PowHistogram) *HistWindow {
+	w := NewHistWindowFromZero(h)
+	copy(w.prev, h.counts)
+	w.prevCount = h.count
+	w.prevSum = h.sum
+	return w
+}
+
+// NewHistWindowFromZero opens a window over h starting from the empty
+// state: the first Advance reports everything h has ever recorded. The
+// telemetry sampler uses this for histograms it discovers mid-run, so
+// observations made before the first sample are not lost.
+func NewHistWindowFromZero(h *PowHistogram) *HistWindow {
+	return &HistWindow{h: h, prev: make([]uint64, len(h.counts))}
+}
+
+// Advance computes the distribution of values recorded since the last
+// Advance (or since NewHistWindow) and rolls the window forward. For
+// each quantile q in qs (0 < q <= 100) it writes the interval quantile
+// into out[i]; count and sum describe the interval. When nothing was
+// recorded in the interval, out is zero-filled and count is 0.
+//
+// Quantiles are bucket representatives, so they carry the histogram's
+// 2^-subBits relative error; unlike PowHistogram.Percentile they are
+// not clamped to exact extremes (the interval extremes are not
+// tracked).
+func (w *HistWindow) Advance(qs []float64, out []float64) (count uint64, sum float64) {
+	h := w.h
+	count = h.count - w.prevCount
+	sum = h.sum - w.prevSum
+	if count == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		w.prevSum = h.sum
+		return 0, 0
+	}
+	// Single pass over the bucket diff, filling quantiles as their ranks
+	// are crossed. qs must be ascending for this to fill every slot in
+	// one pass; out-of-order quantiles fall back to the max bucket seen.
+	ranks := make([]uint64, len(qs))
+	for i, q := range qs {
+		r := uint64(q / 100 * float64(count))
+		if q/100*float64(count) > float64(r) {
+			r++ // ceil
+		}
+		if r < 1 {
+			r = 1
+		}
+		if r > count {
+			r = count
+		}
+		ranks[i] = r
+	}
+	var cum uint64
+	next := 0
+	var lastMid float64
+	for i := range h.counts {
+		d := h.counts[i] - w.prev[i]
+		w.prev[i] = h.counts[i]
+		if d == 0 {
+			continue
+		}
+		cum += d
+		lastMid = h.bucketMid(i)
+		for next < len(ranks) && cum >= ranks[next] {
+			out[next] = lastMid
+			next++
+		}
+	}
+	for ; next < len(out); next++ {
+		out[next] = lastMid
+	}
+	w.prevCount = h.count
+	w.prevSum = h.sum
+	return count, sum
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistWindowIntervalQuantiles: quantiles reflect only the values
+// recorded inside each interval, within the histogram's error bound.
+func TestHistWindowIntervalQuantiles(t *testing.T) {
+	h := NewPowHistogram(5)
+	w := NewHistWindow(h)
+	qs := []float64{50, 95, 99}
+	out := make([]float64, len(qs))
+
+	// Interval 1: 1..1000.
+	for v := int64(1); v <= 1000; v++ {
+		h.AddNs(v)
+	}
+	n, sum := w.Advance(qs, out)
+	if n != 1000 {
+		t.Fatalf("interval count = %d, want 1000", n)
+	}
+	if want := 1000.0 * 1001 / 2; sum != want {
+		t.Fatalf("interval sum = %v, want %v", sum, want)
+	}
+	for i, q := range qs {
+		exact := q / 100 * 1000
+		if rel := math.Abs(out[i]-exact) / exact; rel > 0.04 {
+			t.Errorf("interval1 p%v = %v, exact %v (rel err %.3f)", q, out[i], exact, rel)
+		}
+	}
+
+	// Interval 2: a completely different range, 100000..101000. The
+	// cumulative histogram now spans both, but the window must see only
+	// the new values.
+	for v := int64(100000); v <= 101000; v++ {
+		h.AddNs(v)
+	}
+	n, _ = w.Advance(qs, out)
+	if n != 1001 {
+		t.Fatalf("interval2 count = %d, want 1001", n)
+	}
+	if out[0] < 100000*0.96 {
+		t.Errorf("interval2 p50 = %v leaked pre-window values (want ~100500)", out[0])
+	}
+
+	// Interval 3: empty.
+	n, sum = w.Advance(qs, out)
+	if n != 0 || sum != 0 {
+		t.Fatalf("empty interval reported n=%d sum=%v", n, sum)
+	}
+	for i := range out {
+		if out[i] != 0 {
+			t.Errorf("empty interval quantile[%d] = %v, want 0", i, out[i])
+		}
+	}
+}
+
+// TestHistWindowStartsAtCurrentState: values recorded before the window
+// opened are invisible to it.
+func TestHistWindowStartsAtCurrentState(t *testing.T) {
+	h := NewPowHistogram(5)
+	for i := 0; i < 500; i++ {
+		h.AddNs(10)
+	}
+	w := NewHistWindow(h)
+	h.AddNs(1 << 20)
+	out := make([]float64, 1)
+	n, _ := w.Advance([]float64{50}, out)
+	if n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+	if out[0] < float64(1<<20)*0.96 {
+		t.Errorf("p50 = %v, want ~%d", out[0], 1<<20)
+	}
+}
+
+// TestHistWindowDoesNotMutateHistogram: cumulative stats stay intact
+// across Advance calls.
+func TestHistWindowDoesNotMutateHistogram(t *testing.T) {
+	h := NewPowHistogram(5)
+	w := NewHistWindow(h)
+	for i := int64(1); i <= 100; i++ {
+		h.AddNs(i)
+	}
+	out := make([]float64, 1)
+	w.Advance([]float64{99}, out)
+	if h.Count() != 100 {
+		t.Errorf("histogram count mutated: %d", h.Count())
+	}
+	if got := h.Percentile(99); math.Abs(got-99) > 5 {
+		t.Errorf("cumulative p99 = %v, want ~99", got)
+	}
+}

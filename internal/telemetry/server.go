@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+)
+
+// NewHandler builds the introspection mux for a pipeline:
+//
+//	/metrics         Prometheus text exposition (latest sample)
+//	/telemetry.json  full series dump + fairness report (deterministic)
+//	/healthz         liveness: "ok" once at least one sample exists
+//
+// All endpoints read only the pipeline's sampled state under its lock,
+// never the registry, so they are safe to hit while a simulation runs.
+func NewHandler(p *Pipeline) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.WriteProm(w)
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := p.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if p.Samples() == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("no samples yet\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Server is a live introspection endpoint over one pipeline.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:9120"; use
+// ":0" for an ephemeral port) exposing the pipeline. It returns once
+// the listener is bound; requests are served on a background goroutine
+// until Close.
+func Serve(addr string, p *Pipeline) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(p)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

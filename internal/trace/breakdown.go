@@ -8,14 +8,17 @@ import (
 )
 
 // StageStat summarises one stage's time-in-stage across a set of spans.
-// TotalNs and MeanNs are exact; P99Ns comes from a bounded streaming
-// histogram (stats.PowHistogram, <=3.1% relative error).
+// TotalNs and MeanNs are exact; the percentiles come from a bounded
+// streaming histogram (stats.PowHistogram, <=3.1% relative error).
 type StageStat struct {
 	Stage   string  `json:"stage"`
 	Count   int     `json:"count"`
 	TotalNs int64   `json:"total_ns"`
 	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   float64 `json:"p50_ns"`
+	P95Ns   float64 `json:"p95_ns"`
 	P99Ns   float64 `json:"p99_ns"`
+	P999Ns  float64 `json:"p999_ns"`
 }
 
 // Breakdown is the per-stage latency decomposition of a traced run.
@@ -50,7 +53,10 @@ func (a *stageAcc) stat(name string) StageStat {
 	st := StageStat{Stage: name, Count: a.count, TotalNs: a.total}
 	if a.count > 0 {
 		st.MeanNs = float64(a.total) / float64(a.count)
+		st.P50Ns = a.hist.Percentile(50)
+		st.P95Ns = a.hist.Percentile(95)
 		st.P99Ns = a.hist.Percentile(99)
+		st.P999Ns = a.hist.Percentile(99.9)
 	}
 	return st
 }
@@ -109,16 +115,17 @@ func (b Breakdown) ReconcileNs() (stageSum, endToEnd int64) {
 // sub-stages.
 func (b Breakdown) Table() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %14s\n", "stage", "count", "mean_ns", "p99_ns", "total_ns")
+	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %12s %12s %14s\n",
+		"stage", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "total_ns")
 	row := func(st StageStat) {
-		fmt.Fprintf(&sb, "%-14s %7d %12.1f %12.1f %14d\n",
-			st.Stage, st.Count, st.MeanNs, st.P99Ns, st.TotalNs)
+		fmt.Fprintf(&sb, "%-14s %7d %12.1f %12.1f %12.1f %12.1f %14d\n",
+			st.Stage, st.Count, st.MeanNs, st.P50Ns, st.P95Ns, st.P99Ns, st.TotalNs)
 	}
 	for _, st := range b.Stages {
 		row(st)
 	}
 	sum, _ := b.ReconcileNs()
-	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %14d\n", "= stage sum", "", "", "", sum)
+	fmt.Fprintf(&sb, "%-14s %7s %12s %12s %12s %12s %14d\n", "= stage sum", "", "", "", "", "", sum)
 	row(b.EndToEnd)
 	if len(b.SubStages) > 0 {
 		fmt.Fprintf(&sb, "-- device sub-stages (informational) --\n")

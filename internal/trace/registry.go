@@ -2,7 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -33,13 +35,48 @@ func (k MetricKind) String() string {
 	return "unknown"
 }
 
-// Metric is one registered instrument.
+// Label is one metric dimension (e.g. host="3", qid="7"). Labels make
+// the same counter attributable to the host or queue that caused it —
+// the per-host view the telemetry pipeline and fairness layer build on.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key string, value any) Label {
+	return Label{Key: key, Value: fmt.Sprint(value)}
+}
+
+// renderLabels formats a label set as {k="v",k2="v2"}, empty for none.
+// Labels render in the order given at registration (callers pass them in
+// a fixed order, keeping output deterministic).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Metric is one registered instrument. Counter/histogram mutation
+// methods are lock-free: they must only be called from the simulation
+// loop (see Registry's concurrency contract).
 type Metric struct {
-	name  string
-	kind  MetricKind
-	count uint64
-	fn    func() float64
-	hist  *stats.PowHistogram
+	name   string // base name, no labels
+	labels []Label
+	kind   MetricKind
+	count  uint64
+	fn     func() float64
+	hist   *stats.PowHistogram
 }
 
 // Inc adds one to a counter.
@@ -54,16 +91,51 @@ func (m *Metric) Observe(v float64) { m.hist.Add(v) }
 // ObserveNs records a virtual-nanosecond value into a histogram.
 func (m *Metric) ObserveNs(ns int64) { m.hist.AddNs(ns) }
 
-// MetricValue is a snapshot row, JSON-serialisable for BENCH_sim.json.
-type MetricValue struct {
-	Name  string  `json:"name"`
-	Kind  string  `json:"kind"`
-	Value float64 `json:"value"`
-	Count uint64  `json:"count,omitempty"`
-	P50   float64 `json:"p50,omitempty"`
-	P99   float64 `json:"p99,omitempty"`
-	Max   float64 `json:"max,omitempty"`
+// Hist exposes the underlying histogram (nil for non-histogram metrics),
+// so layers can record into it directly and samplers can open interval
+// windows over it.
+func (m *Metric) Hist() *stats.PowHistogram { return m.hist }
+
+// Kind reports the metric's kind.
+func (m *Metric) Kind() MetricKind { return m.kind }
+
+// Name returns the base name without labels.
+func (m *Metric) Name() string { return m.name }
+
+// Labels returns the label set given at registration (not a copy; do
+// not mutate).
+func (m *Metric) Labels() []Label { return m.labels }
+
+// Count returns a counter's current value (zero for other kinds).
+func (m *Metric) Count() uint64 { return m.count }
+
+// Gauge evaluates a gauge's callback (zero if unset or not a gauge).
+// Subject to the same concurrency contract as Snapshot.
+func (m *Metric) Gauge() float64 {
+	if m.fn != nil {
+		return m.fn()
+	}
+	return 0
 }
+
+// MetricValue is a snapshot row, JSON-serialisable for BENCH_sim.json
+// and the telemetry endpoints.
+type MetricValue struct {
+	Name   string  `json:"name"` // base name without labels
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+	Count  uint64  `json:"count,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P95    float64 `json:"p95,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
+	P999   float64 `json:"p999,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
+// FullName renders the metric identity including labels, e.g.
+// `pcie.posted_writes{host="0"}`.
+func (v MetricValue) FullName() string { return v.Name + renderLabels(v.Labels) }
 
 // Registry is an insertion-ordered collection of named metrics. It is the
 // process-wide wiring point: layers keep plain uint64 counter fields on
@@ -71,7 +143,20 @@ type MetricValue struct {
 // registers gauge callbacks that read them at snapshot time.
 //
 // Registration order is preserved in Snapshot so output is deterministic.
+//
+// Concurrency contract: registration and observation (counter bumps,
+// gauge callback reads, Snapshot) must happen on the simulation loop —
+// either before Run, from a simulated process, or from a sim.Ticker
+// callback — where the kernel's one-process-at-a-time guarantee
+// serializes them. The registry's own bookkeeping (order, items) is
+// additionally guarded by a mutex, so tools that snapshot after the run
+// from another goroutine are safe; but a live HTTP server must NOT call
+// Snapshot concurrently with a run (gauge callbacks would race layer
+// counters) — it reads the telemetry pipeline's sampled copies instead,
+// which are taken under the pipeline lock from a ticker. The -race CI
+// run enforces this posture end to end.
 type Registry struct {
+	mu    sync.Mutex
 	order []string
 	items map[string]*Metric
 }
@@ -81,64 +166,128 @@ func NewRegistry() *Registry {
 	return &Registry{items: make(map[string]*Metric)}
 }
 
-func (r *Registry) register(name string, kind MetricKind) *Metric {
-	if m, ok := r.items[name]; ok {
-		return m
+// register get-or-creates a metric under the lock; configure (may be
+// nil) runs on the metric while the lock is still held, so gauge
+// callbacks and histogram backing never race Snapshot.
+func (r *Registry) register(name string, kind MetricKind, labels []Label, configure func(*Metric)) *Metric {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.items[key]
+	if !ok {
+		m = &Metric{name: name, labels: labels, kind: kind}
+		r.items[key] = m
+		r.order = append(r.order, key)
 	}
-	m := &Metric{name: name, kind: kind}
-	r.items[name] = m
-	r.order = append(r.order, name)
+	if configure != nil {
+		configure(m)
+	}
 	return m
 }
 
-// Counter returns the named counter, creating it if needed.
-func (r *Registry) Counter(name string) *Metric {
-	return r.register(name, KindCounter)
+// Counter returns the named counter, creating it if needed. Optional
+// labels add per-host/per-queue dimensions.
+func (r *Registry) Counter(name string, labels ...Label) *Metric {
+	return r.register(name, KindCounter, labels, nil)
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at snapshot
-// time. Re-registering a name replaces its callback.
-func (r *Registry) GaugeFunc(name string, fn func() float64) {
-	m := r.register(name, KindGauge)
-	m.fn = fn
+// time. Re-registering the same name+labels replaces its callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	r.register(name, KindGauge, labels, func(m *Metric) { m.fn = fn })
 }
 
 // Histogram returns the named histogram, creating it if needed.
-func (r *Registry) Histogram(name string) *Metric {
-	m := r.register(name, KindHistogram)
-	if m.hist == nil {
-		m.hist = stats.NewPowHistogram(5)
-	}
-	return m
+func (r *Registry) Histogram(name string, labels ...Label) *Metric {
+	return r.register(name, KindHistogram, labels, func(m *Metric) {
+		if m.hist == nil {
+			m.hist = stats.NewPowHistogram(5)
+		}
+	})
 }
 
 // Len returns the number of registered metrics.
-func (r *Registry) Len() int { return len(r.order) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
 
-// Snapshot reads every metric in registration order.
+// Names returns every registered metric's full name (base + labels) in
+// registration order — the stable identity list exposition endpoints
+// golden-test against.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Each calls fn for every metric in registration order, under the
+// registry lock. The telemetry sampler uses it to walk instruments
+// without copying.
+func (r *Registry) Each(fn func(key string, m *Metric)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, key := range r.order {
+		fn(key, r.items[key])
+	}
+}
+
+// Snapshot reads every metric in registration order. See the concurrency
+// contract on Registry for when this may be called.
 func (r *Registry) Snapshot() []MetricValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]MetricValue, 0, len(r.order))
-	for _, name := range r.order {
-		m := r.items[name]
-		mv := MetricValue{Name: name, Kind: m.kind.String()}
-		switch m.kind {
-		case KindCounter:
-			mv.Value = float64(m.count)
-			mv.Count = m.count
-		case KindGauge:
-			if m.fn != nil {
-				mv.Value = m.fn()
-			}
-		case KindHistogram:
-			mv.Count = m.hist.Count()
-			mv.Value = m.hist.Mean()
-			mv.P50 = m.hist.Percentile(50)
-			mv.P99 = m.hist.Percentile(99)
-			mv.Max = float64(m.hist.Max())
-		}
-		out = append(out, mv)
+	for _, key := range r.order {
+		out = append(out, r.items[key].read())
 	}
 	return out
+}
+
+// read produces the snapshot row for one metric.
+func (m *Metric) read() MetricValue {
+	mv := MetricValue{Name: m.name, Labels: m.labels, Kind: m.kind.String()}
+	switch m.kind {
+	case KindCounter:
+		mv.Value = float64(m.count)
+		mv.Count = m.count
+	case KindGauge:
+		if m.fn != nil {
+			mv.Value = m.fn()
+		}
+	case KindHistogram:
+		mv.Count = m.hist.Count()
+		mv.Value = m.hist.Mean()
+		mv.P50 = m.hist.Percentile(50)
+		mv.P95 = m.hist.Percentile(95)
+		mv.P99 = m.hist.Percentile(99)
+		mv.P999 = m.hist.Percentile(99.9)
+		mv.Max = float64(m.hist.Max())
+	}
+	return mv
+}
+
+// ByLabel groups a snapshot by the value of one label key, preserving
+// order within each group. Rows without the key are omitted. Group keys
+// come back sorted for deterministic iteration.
+func ByLabel(snap []MetricValue, key string) (groups map[string][]MetricValue, keys []string) {
+	groups = make(map[string][]MetricValue)
+	for _, mv := range snap {
+		for _, l := range mv.Labels {
+			if l.Key == key {
+				if _, ok := groups[l.Value]; !ok {
+					keys = append(keys, l.Value)
+				}
+				groups[l.Value] = append(groups[l.Value], mv)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	return groups, keys
 }
 
 // Dump renders a snapshot as aligned text, one metric per line.
@@ -147,10 +296,10 @@ func (r *Registry) Dump() string {
 	for _, mv := range r.Snapshot() {
 		switch mv.Kind {
 		case "histogram":
-			fmt.Fprintf(&sb, "%-40s %-9s n=%-8d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
-				mv.Name, mv.Kind, mv.Count, mv.Value, mv.P50, mv.P99, mv.Max)
+			fmt.Fprintf(&sb, "%-52s %-9s n=%-8d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
+				mv.FullName(), mv.Kind, mv.Count, mv.Value, mv.P50, mv.P99, mv.Max)
 		default:
-			fmt.Fprintf(&sb, "%-40s %-9s %.0f\n", mv.Name, mv.Kind, mv.Value)
+			fmt.Fprintf(&sb, "%-52s %-9s %.0f\n", mv.FullName(), mv.Kind, mv.Value)
 		}
 	}
 	return sb.String()

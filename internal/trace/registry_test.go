@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLabeledMetrics: labels distinguish instances of the same base
+// name, render deterministically, and survive the snapshot.
+func TestLabeledMetrics(t *testing.T) {
+	r := NewRegistry()
+	for host := 0; host < 3; host++ {
+		host := host
+		r.GaugeFunc("pcie.writes", func() float64 { return float64(host * 10) }, L("host", host))
+	}
+	r.Counter("nvme.queue.fetched", L("host", 1), L("qid", 7)).Add(42)
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	snap := r.Snapshot()
+	if got := snap[1].FullName(); got != `pcie.writes{host="1"}` {
+		t.Errorf("full name = %q", got)
+	}
+	if snap[1].Value != 10 {
+		t.Errorf("labeled gauge value = %v, want 10", snap[1].Value)
+	}
+	if got := snap[3].FullName(); got != `nvme.queue.fetched{host="1",qid="7"}` {
+		t.Errorf("labeled counter full name = %q", got)
+	}
+	if snap[3].Count != 42 {
+		t.Errorf("labeled counter = %v, want 42", snap[3].Count)
+	}
+	// Same name+labels returns the same instrument.
+	r.Counter("nvme.queue.fetched", L("host", 1), L("qid", 7)).Inc()
+	if r.Len() != 4 {
+		t.Errorf("re-registration grew registry to %d", r.Len())
+	}
+
+	groups, keys := ByLabel(snap, "host")
+	if len(keys) != 3 || keys[0] != "0" || keys[2] != "2" {
+		t.Fatalf("ByLabel keys = %v", keys)
+	}
+	if len(groups["1"]) != 2 {
+		t.Errorf("host=1 group = %d rows, want 2 (gauge + queue counter)", len(groups["1"]))
+	}
+}
+
+// TestHistogramPercentileFields: snapshots carry the full quantile set.
+func TestHistogramPercentileFields(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := int64(1); i <= 10000; i++ {
+		h.ObserveNs(i)
+	}
+	mv := r.Snapshot()[0]
+	checks := []struct {
+		name  string
+		got   float64
+		exact float64
+	}{
+		{"p50", mv.P50, 5000}, {"p95", mv.P95, 9500},
+		{"p99", mv.P99, 9900}, {"p999", mv.P999, 9990},
+	}
+	for _, c := range checks {
+		if rel := (c.got - c.exact) / c.exact; rel > 0.04 || rel < -0.04 {
+			t.Errorf("%s = %v, exact %v", c.name, c.got, c.exact)
+		}
+	}
+	if h.Hist() == nil {
+		t.Error("Hist() accessor returned nil for a histogram metric")
+	}
+}
+
+// TestRegistryConcurrentRegistration: the registry lock makes
+// registration and snapshotting of registry-owned state safe across
+// goroutines (run under -race in CI). Gauge callbacks here close over
+// goroutine-local values only — the contract for live observation of
+// *layer* counters remains "sim loop only".
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := float64(i)
+				r.GaugeFunc(fmt.Sprintf("g%d.m%d", g, i), func() float64 { return v })
+				_ = r.Snapshot()
+				_ = r.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("len = %d, want 800", r.Len())
+	}
+}
