@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// faultSchemaVersion tags the -faults JSON report. Bump when the shape
+// changes so downstream diffing notices.
+const faultSchemaVersion = 1
+
+// faultReport is the deterministic -faults artifact: scenario echo,
+// per-host outcomes, the reclamation log, the armed fault plan and the
+// final metric snapshot. It holds virtual-time state only — no
+// wall-clock fields — so a fixed seed reproduces it byte for byte.
+type faultReport struct {
+	Schema     int                     `json:"schema_version"`
+	Seed       int64                   `json:"seed"`
+	Hosts      int                     `json:"hosts"`
+	QueueDepth int                     `json:"queue_depth"`
+	IOsPerHost int                     `json:"ios_per_host"`
+	Result     *cluster.FaultRunResult `json:"result"`
+	Metrics    []trace.MetricValue     `json:"metrics"`
+}
+
+// runFaults executes the fault/recovery scenario — one host crash, a
+// manager restart and seed-derived fabric noise — with the telemetry
+// pipeline attached, prints a recovery transcript and writes the
+// deterministic JSON report.
+func runFaults(seed int64, hosts, qd, ios int, intervalNs int64, out string) {
+	reg := trace.NewRegistry()
+	pipe := telemetry.NewPipeline(reg, telemetry.Config{IntervalNs: intervalNs})
+	cfg := cluster.FaultRunConfig{
+		Hosts: hosts, QueueDepth: qd, IOsPerHost: ios, Seed: seed,
+		ManagerRestart: 50 * sim.Microsecond, ManagerRestartAtNs: 150 * sim.Microsecond,
+		Noise: fault.PlanSpec{
+			StartNs: 50 * sim.Microsecond, EndNs: 900 * sim.Microsecond,
+			LinkStalls: 2, StallExtraNs: 2 * sim.Microsecond, StallNs: 20 * sim.Microsecond,
+			DoorbellDrops: 2, CQEDrops: 2,
+		},
+		Registry: reg, Pipeline: pipe,
+	}
+	res, err := cluster.RunFaultScenario(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fault scenario: %d client hosts, QD %d, %d IOs/host, seed %d\n",
+		hosts, qd, ios, seed)
+	fmt.Printf("injected: %d crash, %d restart, %d stalls, %d doorbell drops, %d cqe drops (%d skipped)\n",
+		res.Fault.HostCrashes, res.Fault.ManagerRestarts, res.Fault.LinkStalls,
+		res.Fault.DoorbellDrops, res.Fault.CQEDrops, res.Fault.Skipped)
+	for _, ev := range res.Reclaims {
+		fmt.Printf("host %d crashed: lease expired, manager reclaimed qid %d at t=%.0fµs in %.2fµs\n",
+			ev.Host, ev.QID, float64(ev.DetectedNs)/1e3, float64(ev.DurationNs)/1e3)
+	}
+	if res.ReuseOK {
+		fmt.Printf("reclaimed qid %d re-granted to probe client and verified with a live read\n", res.ReusedQID)
+	}
+	fmt.Printf("\n%-5s %6s %6s %6s %8s %7s %7s %6s %8s\n",
+		"host", "qid", "ios", "errs", "timeouts", "retries", "aborts", "late", "crashed")
+	for _, h := range res.PerHost {
+		fmt.Printf("%-5d %6d %6d %6d %8d %7d %7d %6d %8v\n",
+			h.Host, h.QID, h.IOs, h.Errors, h.Timeouts, h.Retries, h.Aborts,
+			h.LateCompletions, h.Crashed)
+	}
+	fmt.Printf("\nsurvivor fairness (Jain): %.4f before crash, %.4f after\n",
+		res.JainBefore, res.JainAfter)
+	fmt.Printf("elapsed: %.2f virtual ms, %d heartbeats, %d manager restarts\n",
+		float64(res.ElapsedNs)/1e6, res.Heartbeats, res.Restarts)
+
+	rep := faultReport{
+		Schema: faultSchemaVersion, Seed: seed, Hosts: hosts,
+		QueueDepth: qd, IOsPerHost: ios, Result: res, Metrics: reg.Snapshot(),
+	}
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

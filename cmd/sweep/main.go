@@ -9,6 +9,7 @@
 //	sweep -wallclock [-ios N] [-out BENCH_sim.json]
 //	sweep -trace out.json [-scenario ours-remote] [-qd 4] [-op read|write] [-ios N]
 //	sweep -telemetry out.json [-hosts N] [-qd D] [-ios N] [-interval NS]
+//	sweep -faults [-seed N] [-hosts N] [-qd D] [-ios N] [-out FAULTS_sim.json]
 //	sweep -serve 127.0.0.1:9120 [-linger] [-telemetry out.json]
 //
 // The -wallclock mode measures the simulator itself (not the simulated
@@ -59,6 +60,8 @@ func main() {
 		scenario  = flag.String("scenario", "ours-remote", "scenario for -trace")
 		qd        = flag.Int("qd", 4, "queue depth for -trace")
 		telOut    = flag.String("telemetry", "", "run the multihost fairness scenario with virtual-time sampling and write deterministic telemetry JSON to this path")
+		faults    = flag.Bool("faults", false, "run the fault/recovery scenario (host crash, manager restart, fabric noise) and write a deterministic JSON report")
+		seed      = flag.Int64("seed", 7, "scenario seed for -faults (drives workload and fault plan)")
 		hosts     = flag.Int("hosts", 4, "client hosts for -telemetry")
 		interval  = flag.Int64("interval", 100_000, "telemetry sampling interval in virtual ns")
 		serve     = flag.String("serve", "", "serve live /metrics, /telemetry.json and /healthz on this address during -telemetry (e.g. 127.0.0.1:9120)")
@@ -71,6 +74,14 @@ func main() {
 	}
 	if *traceOut != "" {
 		runTrace(*scenario, fop, *op, *qd, *ios, *traceOut)
+		return
+	}
+	if *faults {
+		fout := *out
+		if fout == "BENCH_sim.json" { // the -wallclock default; don't clobber it
+			fout = "FAULTS_sim.json"
+		}
+		runFaults(*seed, *hosts, *qd, *ios, *interval, fout)
 		return
 	}
 	if *telOut != "" || *serve != "" {

@@ -91,6 +91,26 @@ type ClientParams struct {
 	// reserved until completion or close, so a late completion cannot
 	// corrupt a reused buffer.
 	IOTimeoutNs int64
+	// MaxRetries bounds how many times a failed I/O is retried when the
+	// failure is transient (timeout, lost doorbell, link flap). Each
+	// retry resubmits with a fresh CID and a fresh bounce slot — the
+	// failed attempt's slot may still be quarantined awaiting its late
+	// completion. 0 (the default) preserves fail-fast behavior.
+	MaxRetries int
+	// RetryBackoffNs is the first retry's delay; it doubles per attempt
+	// (default 100 µs).
+	RetryBackoffNs int64
+	// AbortOnTimeout makes the client ask the manager to issue an NVMe
+	// Abort for each timed-out CID, as the kernel driver's timeout
+	// handler does. The simulated controller runs commands to completion,
+	// so the abort is best-effort ("not aborted"), but it costs real
+	// admin-queue time and is counted.
+	AbortOnTimeout bool
+	// HeartbeatNs, when nonzero, starts a heartbeat process that
+	// refreshes this client's session lease at the manager. Required for
+	// a manager running with LeaseNs if the client is to survive the
+	// reaper; see ManagerParams.LeaseNs.
+	HeartbeatNs int64
 	// ZeroCopy enables the §V future-work IOMMU path: request buffers
 	// live in a pinned pool with a static NTB window (as the bounce
 	// buffer does), but instead of copying, each request's pages are
@@ -139,6 +159,9 @@ func (cp ClientParams) withDefaults() ClientParams {
 	if cp.IOTimeoutNs == 0 {
 		cp.IOTimeoutNs = 10 * sim.Second
 	}
+	if cp.RetryBackoffNs == 0 {
+		cp.RetryBackoffNs = 100 * sim.Microsecond
+	}
 	return cp
 }
 
@@ -175,9 +198,16 @@ type Client struct {
 	slotFree *sim.Semaphore
 	slots    []bool
 	pending  map[uint16]*pendingIO
-	cqSignal *sim.Signal
-	unwatch  func()
-	closed   bool
+	// quarantine maps an abandoned (timed-out / doorbell-lost) command's
+	// CID to the bounce slot it still owns: the device may yet DMA into
+	// that partition, so the slot is only released when the late
+	// completion drains through the poller.
+	quarantine map[uint16]int
+	cqSignal   *sim.Signal
+	hbStop     *sim.Signal
+	unwatch    func()
+	closed     bool
+	crashed    bool
 
 	// Reads/Writes/Flushes count completed operations.
 	Reads, Writes, Flushes uint64
@@ -185,6 +215,14 @@ type Client struct {
 	// staged through (or out of) the bounce partitions.
 	Polls       uint64
 	BounceBytes uint64
+	// Recovery counters. TimedOut counts commands abandoned at the I/O
+	// timeout; Retries counts resubmissions of transient failures;
+	// Aborts counts NVMe Aborts issued through the manager;
+	// LateCompletions counts quarantined CIDs whose CQE finally drained.
+	TimedOut        uint64
+	Retries         uint64
+	Aborts          uint64
+	LateCompletions uint64
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
 	// latHist, when set, receives each completed I/O's end-to-end
@@ -229,11 +267,12 @@ func (s PhaseStats) Mean() (submit, dataMove, device, complete float64) {
 func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node, mgr *Manager, params ClientParams) (*Client, error) {
 	params = params.withDefaults()
 	c := &Client{
-		name:    name,
-		node:    node,
-		mgr:     mgr,
-		params:  params,
-		pending: make(map[uint16]*pendingIO),
+		name:       name,
+		node:       node,
+		mgr:        mgr,
+		params:     params,
+		pending:    make(map[uint16]*pendingIO),
+		quarantine: make(map[uint16]int),
 	}
 	meta, err := readMetadata(p, node, mgr.Node().ID)
 	if err != nil {
@@ -303,7 +342,16 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 	if c.sqSeg != nil {
 		sqDevAddr = c.sqSeg.DevAddr
 	}
-	grant, err := mgr.RequestQueuePair(p, depth, sqDevAddr, c.cqSeg.DevAddr, msiDevAddr, iovaBytes, cmbBytes)
+	grant, err := mgr.RequestQueue(p, QueueRequest{
+		Depth:     depth,
+		SQDevAddr: sqDevAddr,
+		CQDevAddr: c.cqSeg.DevAddr,
+		MSIAddr:   msiDevAddr,
+		IOVABytes: iovaBytes,
+		CMBBytes:  cmbBytes,
+		Ref:       ref,
+		Host:      uint32(node.ID),
+	})
 	if err != nil {
 		ref.Release()
 		return nil, err
@@ -351,8 +399,25 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 			pcie.Range{Base: c.cqSeg.Seg.Addr, Size: uint64(depth * nvme.CQESize)},
 			func(pcie.Addr, int) { c.cqSignal.Set() })
 	}
+	c.hbStop = sim.NewSignal(node.Host().Domain().Kernel())
 	node.Host().Domain().Kernel().Spawn(name+"/poller", c.poller)
+	if params.HeartbeatNs > 0 {
+		node.Host().Domain().Kernel().Spawn(name+"/heartbeat", c.heartbeat)
+	}
 	return c, nil
+}
+
+// heartbeat refreshes the manager's session lease until Close or Crash.
+func (c *Client) heartbeat(p *sim.Proc) {
+	for {
+		if c.closed || c.crashed {
+			return
+		}
+		c.mgr.Heartbeat(p, c.view.ID)
+		if p.WaitSignalTimeout(c.hbStop, c.params.HeartbeatNs) {
+			return
+		}
+	}
 }
 
 // prebuildPRPLists writes, once, the PRP list page for every slot: entry
@@ -412,16 +477,31 @@ func (c *Client) Placement() SQPlacement { return c.params.Placement }
 // entry latency before draining the CQ.
 func (c *Client) poller(p *sim.Proc) {
 	for {
+		if c.crashed {
+			return
+		}
 		cqe, ok, err := c.view.Poll(p, c.node.Host())
 		if err != nil {
-			return
+			if c.closed || c.crashed || !errors.Is(err, ntb.ErrLinkDown) {
+				return
+			}
+			// Transient link outage: back off and keep serving — dying here
+			// would strand every in-flight command.
+			p.Sleep(4 * c.params.PollCheckNs)
+			continue
 		}
 		if !ok {
 			// Sweep done: commit the CQ head doorbell for everything
 			// consumed before blocking (the controller stalls on a
 			// full-looking CQ otherwise).
 			if err := c.view.FlushCQ(p, c.node.Host()); err != nil {
-				return
+				if c.closed || c.crashed || !errors.Is(err, ntb.ErrLinkDown) {
+					return
+				}
+				// The head update is retried on the next sweep; the queue
+				// view kept its unrung count.
+				p.Sleep(4 * c.params.PollCheckNs)
+				continue
 			}
 			p.WaitSignal(c.cqSignal)
 			c.Polls++
@@ -436,6 +516,12 @@ func (c *Client) poller(p *sim.Proc) {
 			delete(c.pending, cqe.CID)
 			io.status = cqe.Status()
 			io.done.Trigger(nil)
+		} else if slot, held := c.quarantine[cqe.CID]; held {
+			// The late completion of an abandoned command: only now is its
+			// bounce partition safe to hand to another request.
+			delete(c.quarantine, cqe.CID)
+			c.releaseSlot(slot)
+			c.LateCompletions++
 		}
 	}
 }
@@ -486,7 +572,7 @@ func (c *Client) Flush(p *sim.Proc) error {
 		return ErrClosed
 	}
 	cmd := nvme.SQE{Opcode: nvme.IOFlush, NSID: 1}
-	st, err := c.exec(p, &cmd)
+	st, _, err := c.exec(p, &cmd, -1)
 	if err != nil {
 		return err
 	}
@@ -503,15 +589,39 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	}
 	n := nblk * c.BlockSize()
 	if len(buf) != n {
-		return fmt.Errorf("core: buffer %d bytes for %d blocks", len(buf), nblk)
+		return fmt.Errorf("%w: %d bytes for %d blocks", ErrBadBuffer, len(buf), nblk)
 	}
 	if uint64(n) > c.params.PartitionBytes {
 		return ErrTransferTooLarge
 	}
+	backoff := c.params.RetryBackoffNs
+	for attempt := 0; ; attempt++ {
+		err := c.ioAttempt(p, opcode, lba, nblk, buf)
+		if err == nil || attempt >= c.params.MaxRetries ||
+			c.closed || c.crashed || !IsTransient(err) {
+			return err
+		}
+		// Bounded exponential backoff, then resubmit with a fresh CID and
+		// a fresh bounce slot (the failed attempt's slot may still be
+		// quarantined awaiting its late completion).
+		c.Retries++
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// ioAttempt performs one submission attempt of a read/write.
+func (c *Client) ioAttempt(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte) error {
+	n := nblk * c.BlockSize()
 	phaseStart := p.Now()
 	p.Sleep(c.params.SubmitOverheadNs)
 	slot := c.acquireSlot(p)
-	defer c.releaseSlot(slot)
+	parked := false
+	defer func() {
+		if !parked {
+			c.releaseSlot(slot)
+		}
+	}()
 	if c.params.RemapPerIO {
 		// Ablation: program a fresh device-side window for this request
 		// and tear it down afterwards, as a bounce-less design would.
@@ -564,7 +674,8 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	} else if pages > 2 {
 		cmd.PRP2 = c.bounce.DevAddr + c.listBase + uint64(slot)*nvme.PageSize
 	}
-	st, err := c.exec(p, &cmd)
+	st, slotParked, err := c.exec(p, &cmd, slot)
+	parked = slotParked
 	if err != nil {
 		return err
 	}
@@ -629,7 +740,12 @@ func (c *Client) DiscardBlocks(p *sim.Proc, lba uint64, nblk int) error {
 	}
 	p.Sleep(c.params.SubmitOverheadNs)
 	slot := c.acquireSlot(p)
-	defer c.releaseSlot(slot)
+	parked := false
+	defer func() {
+		if !parked {
+			c.releaseSlot(slot)
+		}
+	}()
 	partCPU := c.bounce.Seg.Addr + c.dataBase + uint64(slot)*c.params.PartitionBytes
 	partDev := c.bounce.DevAddr + c.dataBase + uint64(slot)*c.params.PartitionBytes
 	rng := make([]byte, nvme.DSMRangeSize)
@@ -644,7 +760,8 @@ func (c *Client) DiscardBlocks(p *sim.Proc, lba uint64, nblk int) error {
 	}
 	cmd := nvme.SQE{Opcode: nvme.IODSM, NSID: 1, PRP1: partDev,
 		CDW10: 0, CDW11: nvme.DSMAttrDeallocate}
-	st, err := c.exec(p, &cmd)
+	st, slotParked, err := c.exec(p, &cmd, slot)
+	parked = slotParked
 	if err != nil {
 		return err
 	}
@@ -662,7 +779,7 @@ func (c *Client) WriteZeroesBlocks(p *sim.Proc, lba uint64, nblk int) error {
 	p.Sleep(c.params.SubmitOverheadNs)
 	cmd := nvme.SQE{Opcode: nvme.IOWriteZeroes, NSID: 1,
 		CDW10: uint32(lba), CDW11: uint32(lba >> 32), CDW12: uint32(nblk - 1)}
-	st, err := c.exec(p, &cmd)
+	st, _, err := c.exec(p, &cmd, -1)
 	if err != nil {
 		return err
 	}
@@ -673,35 +790,95 @@ func (c *Client) WriteZeroesBlocks(p *sim.Proc, lba uint64, nblk int) error {
 }
 
 // exec submits one command and waits for its completion or the I/O
-// timeout.
-func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE) (uint16, error) {
+// timeout. slot is the bounce partition the command DMAs through, or -1
+// for slotless commands (Flush, Write Zeroes). The returned parked flag
+// reports that slot ownership moved to the quarantine: the command was
+// abandoned but may still execute and DMA into the partition, so the
+// caller must NOT release the slot — the poller does, when the late
+// completion drains.
+func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE, slot int) (uint16, bool, error) {
 	cmd.CID = c.view.NextCID()
 	io := &pendingIO{done: sim.NewEvent(p.Kernel())}
 	c.pending[cmd.CID] = io
 	if err := c.view.Submit(p, c.node.Host(), cmd); err != nil {
 		delete(c.pending, cmd.CID)
 		c.params.Tracer.Drop(c.view.ID, cmd.CID)
-		return 0, err
+		if errors.Is(err, nvme.ErrDoorbellLost) {
+			// The SQE is committed in the ring; a later ring's cumulative
+			// tail will run it. Quarantine the slot like a timeout.
+			parked := false
+			if slot >= 0 {
+				c.quarantine[cmd.CID] = slot
+				parked = true
+			}
+			return 0, parked, Transient(err)
+		}
+		if errors.Is(err, ntb.ErrLinkDown) {
+			// Nothing left the host: the queue view rolled its state back.
+			return 0, false, Transient(err)
+		}
+		return 0, false, err
 	}
 	if _, ok := p.WaitTimeout(io.done, c.params.IOTimeoutNs); !ok {
-		// Abandon the command: the poller will drop its late completion
-		// (no pending entry) and the CID is never reused within the
-		// 16-bit window a queue can have in flight.
+		// Abandon the command. The CID is never reused within the 16-bit
+		// window a queue can have in flight, and its slot (if any) is
+		// quarantined BEFORE any further blocking so the poller can always
+		// find it when the late completion lands.
 		delete(c.pending, cmd.CID)
 		c.params.Tracer.Drop(c.view.ID, cmd.CID)
-		return 0, fmt.Errorf("%w: CID %d after %d ns", ErrIOTimeout, cmd.CID, c.params.IOTimeoutNs)
+		c.TimedOut++
+		parked := false
+		if slot >= 0 {
+			c.quarantine[cmd.CID] = slot
+			parked = true
+		}
+		if c.params.AbortOnTimeout && !c.closed && !c.crashed {
+			if err := c.mgr.AbortCommand(p, c.view.ID, cmd.CID); err == nil {
+				c.Aborts++
+			}
+		}
+		return 0, parked, Transient(fmt.Errorf("%w: CID %d after %d ns",
+			ErrIOTimeout, cmd.CID, c.params.IOTimeoutNs))
 	}
 	p.Sleep(c.params.CompleteOverheadNs)
-	return io.status, nil
+	return io.status, false, nil
 }
 
-// Close releases the queue pair, DMA windows and device reference.
+// Crash simulates a host failure: the client stops completion handling
+// and heartbeats immediately and releases nothing — reclaiming its queue
+// pair and DMA windows is the manager's job (the session lease expires
+// and the reaper tears the queue pair down). Callable from timer
+// callbacks; it never blocks.
+func (c *Client) Crash() {
+	if c.closed || c.crashed {
+		return
+	}
+	c.crashed = true
+	c.closed = true
+	c.unwatch()
+	c.hbStop.Set()
+	// Wake the poller so it observes the crash and exits.
+	c.cqSignal.Set()
+}
+
+// Crashed reports whether Crash was called.
+func (c *Client) Crashed() bool { return c.crashed }
+
+// QuarantinedSlots returns how many bounce slots are parked awaiting a
+// late completion.
+func (c *Client) QuarantinedSlots() int { return len(c.quarantine) }
+
+// Close releases the queue pair, DMA windows and device reference. If
+// the manager already reclaimed the queue pair (this client's lease
+// expired), Close reports ErrQueueReclaimed: everything it would release
+// is already gone.
 func (c *Client) Close(p *sim.Proc) error {
 	if c.closed {
 		return ErrClosed
 	}
 	c.closed = true
 	c.unwatch()
+	c.hbStop.Set()
 	if err := c.mgr.ReleaseQueuePair(p, c.view.ID); err != nil {
 		return err
 	}

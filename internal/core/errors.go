@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/ntb"
+	"repro/internal/nvme"
+)
+
+// Fault classification sentinels. Recovery code cares about exactly one
+// question per failure: is it worth retrying? Errors produced by the
+// client and manager are wrapped so errors.Is answers it:
+//
+//	errors.Is(err, ErrTransient) — the fault was momentary (link flap,
+//	  lost doorbell, timeout); a retry with a fresh CID may succeed.
+//	errors.Is(err, ErrFatal) — the resource is gone (queue reclaimed,
+//	  client closed); retrying can never succeed.
+//
+// The original error chain stays intact: errors.Is against the concrete
+// sentinel (ErrIOTimeout, ErrQueueReclaimed, ntb.ErrLinkDown, ...) keeps
+// working through the wrapper.
+var (
+	// ErrTransient marks failures the client may retry.
+	ErrTransient = errors.New("core: transient fault")
+	// ErrFatal marks failures where the underlying resource is gone.
+	ErrFatal = errors.New("core: fatal fault")
+	// ErrQueueReclaimed is returned for operations against a queue pair
+	// the manager already reclaimed (lease expired, windows released).
+	ErrQueueReclaimed = errors.New("core: queue pair reclaimed by manager")
+	// ErrBadBuffer is returned when a caller's buffer length does not
+	// match the block count of the request.
+	ErrBadBuffer = errors.New("core: buffer size does not match request")
+)
+
+// classified attaches a retryability class to an error without
+// disturbing its chain: Unwrap exposes the original error, Is matches
+// the class sentinel.
+type classified struct {
+	err   error
+	class error
+}
+
+func (c *classified) Error() string        { return c.err.Error() }
+func (c *classified) Unwrap() error        { return c.err }
+func (c *classified) Is(target error) bool { return target == c.class }
+
+// Transient marks err as retryable. Nil-safe.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrTransient}
+}
+
+// Fatal marks err as non-retryable. Nil-safe.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrFatal}
+}
+
+// IsTransient reports whether err is worth retrying. Beyond the
+// explicit ErrTransient wrapper it recognises the raw fault sentinels
+// from lower layers, so callers that bypassed the client's own
+// classification still get the right answer.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, ErrIOTimeout) ||
+		errors.Is(err, ntb.ErrLinkDown) ||
+		errors.Is(err, nvme.ErrDoorbellLost)
+}
+
+// IsFatal reports whether err means the resource is permanently gone.
+func IsFatal(err error) bool {
+	return errors.Is(err, ErrFatal) ||
+		errors.Is(err, ErrQueueReclaimed) ||
+		errors.Is(err, ErrClosed)
+}

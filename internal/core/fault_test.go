@@ -1,0 +1,304 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// startWith is rig.start with explicit manager parameters (lease and
+// reaper knobs for the fault tests).
+func (r *rig) startWith(t *testing.T, mp core.ManagerParams, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.c.Go("test", func(p *sim.Proc) {
+		mgr, err := core.NewManager(p, r.svc, r.dev.ID, r.c.Hosts[0].Node, mp)
+		if err != nil {
+			t.Errorf("manager: %v", err)
+			return
+		}
+		r.mgr = mgr
+		fn(p)
+	})
+	r.c.Run()
+}
+
+// TestLateCompletionQuarantine is the timed-out-slot regression test: a
+// command that times out must park its bounce slot until the late CQE
+// drains, so a subsequent I/O can neither reuse the slot early nor leak
+// it. A fabric stall on the device host's adapter delays the whole
+// device-side path (SQE fetch, data DMA, CQE write) past the client's
+// command timeout; the completion still arrives once the stall clears.
+func TestLateCompletionQuarantine(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		cl, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{QueueDepth: 2, IOTimeoutNs: 50 * sim.Microsecond})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		want := bytes.Repeat([]byte{0xAB}, 512)
+		// Every device-side crossing inside the 120µs window pays +100µs:
+		// the first command completes long after its 50µs timeout.
+		r.c.Hosts[0].Adapter.InjectStall(100*sim.Microsecond, 120*sim.Microsecond)
+		err = cl.WriteBlocks(p, 10, 1, want)
+		if !errors.Is(err, core.ErrIOTimeout) {
+			t.Fatalf("stalled write returned %v, want ErrIOTimeout", err)
+		}
+		if !core.IsTransient(err) {
+			t.Errorf("timeout not classified transient: %v", err)
+		}
+		if got := cl.QuarantinedSlots(); got != 1 {
+			t.Fatalf("quarantined slots = %d, want 1", got)
+		}
+		if cl.TimedOut != 1 {
+			t.Errorf("TimedOut = %d, want 1", cl.TimedOut)
+		}
+		// QueueDepth 2 means a single bounce slot: the next I/O must
+		// block until the late CQE releases the quarantined slot, then
+		// succeed at full speed (the stall window has expired).
+		if err := cl.WriteBlocks(p, 20, 1, want); err != nil {
+			t.Fatalf("post-quarantine write: %v", err)
+		}
+		if cl.LateCompletions != 1 {
+			t.Errorf("LateCompletions = %d, want 1", cl.LateCompletions)
+		}
+		if got := cl.QuarantinedSlots(); got != 0 {
+			t.Errorf("quarantined slots = %d after drain, want 0", got)
+		}
+		// The timed-out command did execute (late, not lost): its data
+		// landed at LBA 10.
+		got := make([]byte, 512)
+		if err := cl.ReadBlocks(p, 10, 1, got); err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("late-completing write lost its data")
+		}
+		if err := cl.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+}
+
+// TestRetryAfterDroppedDoorbell drives the client's bounded-backoff
+// retry and Abort path: a lost SQ doorbell strands the first attempt
+// (committed SQE, device never rung) until the retry's doorbell
+// publishes the cumulative tail. The first CID times out, is aborted,
+// and its late CQE drains through the quarantine.
+func TestRetryAfterDroppedDoorbell(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		cl, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{
+				QueueDepth:     3,
+				IOTimeoutNs:    50 * sim.Microsecond,
+				MaxRetries:     2,
+				RetryBackoffNs: 10 * sim.Microsecond,
+				AbortOnTimeout: true,
+			})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		cl.QueueView().DropSQDoorbells = 1
+		want := bytes.Repeat([]byte{0x5C}, 512)
+		if err := cl.WriteBlocks(p, 33, 1, want); err != nil {
+			t.Fatalf("write with dropped doorbell: %v", err)
+		}
+		if cl.TimedOut != 1 || cl.Retries != 1 {
+			t.Errorf("TimedOut=%d Retries=%d, want 1/1", cl.TimedOut, cl.Retries)
+		}
+		if cl.Aborts != 1 {
+			t.Errorf("Aborts = %d, want 1", cl.Aborts)
+		}
+		if cl.QueueView().SQDoorbellsDropped != 1 {
+			t.Errorf("SQDoorbellsDropped = %d, want 1", cl.QueueView().SQDoorbellsDropped)
+		}
+		// Both the stranded original and the retry executed; give the
+		// poller a beat to drain the late CQE, then verify the data.
+		p.Sleep(50 * sim.Microsecond)
+		if cl.LateCompletions != 1 {
+			t.Errorf("LateCompletions = %d, want 1", cl.LateCompletions)
+		}
+		if cl.QuarantinedSlots() != 0 {
+			t.Errorf("quarantined slots = %d, want 0", cl.QuarantinedSlots())
+		}
+		got := make([]byte, 512)
+		if err := cl.ReadBlocks(p, 33, 1, got); err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("retried write data mismatch")
+		}
+		if err := cl.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	if r.mgr.AbortsIssued != 1 {
+		t.Errorf("manager AbortsIssued = %d, want 1", r.mgr.AbortsIssued)
+	}
+}
+
+// TestHeartbeatReclaim covers the session/lease layer end to end: a
+// client that never heartbeats loses its lease, the reaper deletes its
+// queue pair and frees its windows, the QID is re-granted to the next
+// client, and the dead client's own straggler release is refused with
+// ErrQueueReclaimed (fatal, not retryable).
+func TestHeartbeatReclaim(t *testing.T) {
+	r := newRig(t, 3, cluster.NVMeConfig{})
+	r.startWith(t, core.ManagerParams{LeaseNs: 200 * sim.Microsecond}, func(p *sim.Proc) {
+		// Client A: no HeartbeatNs — its lease is never refreshed.
+		a, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr, core.ClientParams{})
+		if err != nil {
+			t.Fatalf("client A: %v", err)
+		}
+		qidA := a.QID()
+		buf := make([]byte, 512)
+		if err := a.ReadBlocks(p, 0, 1, buf); err != nil {
+			t.Fatalf("A read: %v", err)
+		}
+		p.Sleep(600 * sim.Microsecond)
+		if r.mgr.Reclaims != 1 {
+			t.Fatalf("Reclaims = %d, want 1", r.mgr.Reclaims)
+		}
+		if r.mgr.ReclaimsByHost[1] != 1 {
+			t.Errorf("ReclaimsByHost[1] = %d, want 1", r.mgr.ReclaimsByHost[1])
+		}
+		ev := r.mgr.ReclaimLog[0]
+		if ev.QID != qidA || ev.Host != 1 || ev.Err != "" {
+			t.Errorf("reclaim event %+v", ev)
+		}
+		if ev.DurationNs <= 0 {
+			t.Errorf("reclaim duration %d, want > 0", ev.DurationNs)
+		}
+		// The dead client's own release must be refused, fatally.
+		err = a.Close(p)
+		if !errors.Is(err, core.ErrQueueReclaimed) {
+			t.Fatalf("A close returned %v, want ErrQueueReclaimed", err)
+		}
+		if !core.IsFatal(err) {
+			t.Errorf("ErrQueueReclaimed not classified fatal: %v", err)
+		}
+		// The freed QID is reusable: a heartbeating client gets it and
+		// does real I/O, surviving well past a lease period.
+		b, err := core.NewClient(p, "dnvme2", r.svc, r.c.Hosts[2].Node, r.mgr,
+			core.ClientParams{HeartbeatNs: 50 * sim.Microsecond})
+		if err != nil {
+			t.Fatalf("client B: %v", err)
+		}
+		if b.QID() != qidA {
+			t.Errorf("B granted QID %d, want reclaimed QID %d", b.QID(), qidA)
+		}
+		p.Sleep(500 * sim.Microsecond)
+		if err := b.ReadBlocks(p, 0, 1, buf); err != nil {
+			t.Fatalf("B read after lease periods: %v", err)
+		}
+		if r.mgr.Reclaims != 1 {
+			t.Errorf("heartbeating client reclaimed: Reclaims = %d", r.mgr.Reclaims)
+		}
+		if r.mgr.HeartbeatsSeen == 0 {
+			t.Error("manager saw no heartbeats")
+		}
+		if err := b.Close(p); err != nil {
+			t.Errorf("B close: %v", err)
+		}
+	})
+}
+
+// TestQueueDeleteUnderConcurrentTraffic exercises the manager's
+// delete-SQ/delete-CQ admin path while another client's I/O stream is
+// in flight: the bystander must finish its full budget untouched and
+// the freed QID must be re-grantable immediately.
+func TestQueueDeleteUnderConcurrentTraffic(t *testing.T) {
+	r := newRig(t, 3, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		a, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr, core.ClientParams{})
+		if err != nil {
+			t.Fatalf("client A: %v", err)
+		}
+		b, err := core.NewClient(p, "dnvme2", r.svc, r.c.Hosts[2].Node, r.mgr, core.ClientParams{})
+		if err != nil {
+			t.Fatalf("client B: %v", err)
+		}
+		qidA := a.QID()
+		const n = 100
+		var done, errs int
+		fin := sim.NewEvent(p.Kernel())
+		p.Kernel().Spawn("bystander", func(bp *sim.Proc) {
+			defer fin.Trigger(nil)
+			buf := make([]byte, 512)
+			for i := 0; i < n; i++ {
+				if err := b.WriteBlocks(bp, uint64(i%64), 1, buf); err != nil {
+					errs++
+					continue
+				}
+				done++
+			}
+		})
+		// Let B's stream get going, then delete A's queue pair under it.
+		p.Sleep(20 * sim.Microsecond)
+		if err := a.Close(p); err != nil {
+			t.Fatalf("A close mid-traffic: %v", err)
+		}
+		// The freed QID is immediately re-grantable while B still runs.
+		c2, err := core.NewClient(p, "dnvme1b", r.svc, r.c.Hosts[1].Node, r.mgr, core.ClientParams{})
+		if err != nil {
+			t.Fatalf("client C: %v", err)
+		}
+		if c2.QID() != qidA {
+			t.Errorf("C granted QID %d, want freed QID %d", c2.QID(), qidA)
+		}
+		buf := make([]byte, 512)
+		if err := c2.ReadBlocks(p, 0, 1, buf); err != nil {
+			t.Fatalf("C read on reused QID: %v", err)
+		}
+		p.Wait(fin)
+		if done != n || errs != 0 {
+			t.Errorf("bystander completed %d/%d with %d errors", done, n, errs)
+		}
+		if err := c2.Close(p); err != nil {
+			t.Errorf("C close: %v", err)
+		}
+		if err := b.Close(p); err != nil {
+			t.Errorf("B close: %v", err)
+		}
+	})
+}
+
+// TestManagerRestartGrace: a manager restart delays RPCs rather than
+// failing them, and the post-restart grace period keeps the reaper from
+// expiring leases the clients had no way to refresh during the outage.
+func TestManagerRestartGrace(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.startWith(t, core.ManagerParams{LeaseNs: 200 * sim.Microsecond}, func(p *sim.Proc) {
+		cl, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{HeartbeatNs: 50 * sim.Microsecond})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		buf := make([]byte, 512)
+		if err := cl.ReadBlocks(p, 0, 1, buf); err != nil {
+			t.Fatalf("read before restart: %v", err)
+		}
+		r.mgr.InjectRestart(300 * sim.Microsecond)
+		// Outage (300µs) + grace (LeaseNs) + margin: if the grace window
+		// were missing, the reaper would see a 300µs-stale lease the
+		// instant the manager came back and reclaim a live client.
+		p.Sleep(700 * sim.Microsecond)
+		if r.mgr.Restarts != 1 {
+			t.Errorf("Restarts = %d, want 1", r.mgr.Restarts)
+		}
+		if r.mgr.Reclaims != 0 {
+			t.Fatalf("live heartbeating client reclaimed across restart (Reclaims=%d)", r.mgr.Reclaims)
+		}
+		if err := cl.ReadBlocks(p, 0, 1, buf); err != nil {
+			t.Fatalf("read after restart: %v", err)
+		}
+		if err := cl.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+}

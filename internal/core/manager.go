@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sisci"
 	"repro/internal/smartio"
+	"repro/internal/stats"
 )
 
 // Manager errors.
@@ -34,6 +35,16 @@ type ManagerParams struct {
 	// RPCTransportNs is the one-way client<->manager message latency over
 	// the shared-memory mailbox.
 	RPCTransportNs int64
+	// LeaseNs enables the session/heartbeat layer: every granted queue
+	// pair carries a lease that the owning client must refresh (see
+	// ClientParams.HeartbeatNs). A session whose lease has been silent
+	// for more than LeaseNs is reclaimed — SQ and CQ deleted through the
+	// admin queue, DMA windows released, QID returned to the free pool —
+	// so a dead host cannot pin device resources. 0 (the default)
+	// disables sessions entirely.
+	LeaseNs int64
+	// ReaperIntervalNs is the lease-scan cadence (default LeaseNs/4).
+	ReaperIntervalNs int64
 }
 
 func (mp ManagerParams) withDefaults() ManagerParams {
@@ -48,6 +59,12 @@ func (mp ManagerParams) withDefaults() ManagerParams {
 	}
 	if mp.IOMMUAperture == 0 {
 		mp.IOMMUAperture = 256 << 20
+	}
+	if mp.LeaseNs > 0 && mp.ReaperIntervalNs == 0 {
+		mp.ReaperIntervalNs = mp.LeaseNs / 4
+		if mp.ReaperIntervalNs == 0 {
+			mp.ReaperIntervalNs = 1
+		}
 	}
 	return mp
 }
@@ -86,12 +103,51 @@ type qpRequest struct {
 	// cmbBytes, when nonzero, asks the manager to place the SQ inside
 	// the controller memory buffer instead of host memory.
 	cmbBytes uint64
-	reply    *sim.Event // payload: QueueGrant or error
+	// ref and host identify the requesting client for session tracking
+	// (LeaseNs managers); ref is released when the session is reclaimed.
+	ref   *smartio.Ref
+	host  uint32
+	reply *sim.Event // payload: QueueGrant or error
 }
 
 type qpRelease struct {
 	qid   uint16
 	reply *sim.Event
+}
+
+// heartbeatMsg refreshes a session lease (fire-and-forget, no reply).
+type heartbeatMsg struct {
+	qid uint16
+}
+
+// abortReq asks the manager to issue an NVMe Abort for (sqid, cid) on
+// behalf of a client whose command timed out.
+type abortReq struct {
+	sqid  uint16
+	cid   uint16
+	reply *sim.Event // payload: nil or error
+}
+
+// session is the manager-side liveness record for one granted queue
+// pair. lastBeat advances on every heartbeat; the reaper reclaims the
+// session when it falls more than LeaseNs behind.
+type session struct {
+	qid        uint16
+	host       uint32
+	ref        *smartio.Ref
+	lastBeat   sim.Time
+	reclaiming bool
+}
+
+// ReclaimEvent records one queue-pair reclamation for reporting: which
+// host's queue, when the reaper detected the dead lease, and how long
+// the teardown (delete SQ/CQ + window release) took in virtual ns.
+type ReclaimEvent struct {
+	Host       uint32 `json:"host"`
+	QID        uint16 `json:"qid"`
+	DetectedNs int64  `json:"detected_ns"`
+	DurationNs int64  `json:"duration_ns"`
+	Err        string `json:"err,omitempty"`
 }
 
 // Manager is the device-host module: it owns the controller's admin queue
@@ -119,8 +175,33 @@ type Manager struct {
 	cmbByQID map[uint16][2]uint64
 	barBase  pcie.Addr
 
+	// Session/lease state (LeaseNs > 0): live sessions by QID, tombstones
+	// for reclaimed QIDs (cleared when the QID is granted again), and the
+	// lease-scan ticker.
+	sessions   map[uint16]*session
+	tombstones map[uint16]bool
+	reaper     *sim.Ticker
+	// downUntil models a manager restart (InjectRestart): requests queue
+	// in the mailbox until the virtual clock passes it. graceUntil holds
+	// the reaper off after a restart so the outage itself cannot expire
+	// leases the clients had no way to refresh.
+	downUntil  sim.Time
+	graceUntil sim.Time
+	// reclaimHist, when set, observes each reclamation's duration
+	// (virtual ns); see SetReclaimHist.
+	reclaimHist *stats.PowHistogram
+
 	// GrantedQueues counts queue pairs handed out, for observability.
 	GrantedQueues int
+	// Recovery observability: heartbeats processed, queue pairs
+	// reclaimed (total and per host), NVMe Aborts issued for clients,
+	// injected restarts, and the reclamation log.
+	HeartbeatsSeen uint64
+	Reclaims       uint64
+	AbortsIssued   uint64
+	Restarts       uint64
+	ReclaimsByHost map[uint32]uint64
+	ReclaimLog     []ReclaimEvent
 }
 
 // NewManager acquires the device exclusively, resets and initializes the
@@ -209,9 +290,22 @@ func NewManager(p *sim.Proc, svc *smartio.Service, devID smartio.DeviceID, node 
 		return nil, err
 	}
 	m.mail = sim.NewQueue(node.Host().Domain().Kernel())
-	node.Host().Domain().Kernel().Spawn("core/manager", m.serve)
+	m.sessions = make(map[uint16]*session)
+	m.tombstones = make(map[uint16]bool)
+	m.ReclaimsByHost = make(map[uint32]uint64)
+	k := node.Host().Domain().Kernel()
+	k.Spawn("core/manager", m.serve)
+	if params.LeaseNs > 0 {
+		// Weak ticker: the lease scan runs while the simulation has other
+		// work but never keeps it alive by itself.
+		m.reaper = k.NewTicker(params.ReaperIntervalNs, m.reapTick)
+	}
 	return m, nil
 }
+
+// SetReclaimHist attaches a histogram observing each reclamation's
+// duration in virtual ns. Pass nil to detach.
+func (m *Manager) SetReclaimHist(h *stats.PowHistogram) { m.reclaimHist = h }
 
 func (m *Manager) nsBlockShift() uint8 { return m.ns.LBADS }
 
@@ -226,6 +320,12 @@ func (m *Manager) Node() *sisci.Node { return m.node }
 func (m *Manager) serve(p *sim.Proc) {
 	for {
 		msg := p.Pop(m.mail)
+		if wake := m.downUntil; p.Now() < wake {
+			// The manager is restarting: requests stay queued in the
+			// mailbox and are serviced once it comes back up — clients see
+			// added control-plane latency, not failure.
+			p.Sleep(wake - p.Now())
+		}
 		p.Sleep(m.params.RPCServiceNs)
 		switch req := msg.(type) {
 		case *qpRequest:
@@ -233,13 +333,112 @@ func (m *Manager) serve(p *sim.Proc) {
 			if err != nil {
 				req.reply.Trigger(err)
 			} else {
+				if m.params.LeaseNs > 0 && req.ref != nil {
+					m.sessions[grant.QID] = &session{
+						qid: grant.QID, host: req.host, ref: req.ref, lastBeat: p.Now(),
+					}
+				}
+				delete(m.tombstones, grant.QID)
 				req.reply.Trigger(grant)
 			}
 		case *qpRelease:
+			if s := m.sessions[req.qid]; s != nil && s.reclaiming {
+				req.reply.Trigger(Fatal(fmt.Errorf("%w: qid %d", ErrQueueReclaimed, req.qid)))
+				break
+			}
+			if m.tombstones[req.qid] && m.sessions[req.qid] == nil {
+				req.reply.Trigger(Fatal(fmt.Errorf("%w: qid %d", ErrQueueReclaimed, req.qid)))
+				break
+			}
 			err := m.deleteQP(p, req.qid)
+			if err == nil {
+				delete(m.sessions, req.qid)
+			}
 			req.reply.Trigger(err)
+		case *heartbeatMsg:
+			if s := m.sessions[req.qid]; s != nil {
+				s.lastBeat = p.Now()
+				m.HeartbeatsSeen++
+			}
+		case *abortReq:
+			cmd := nvme.SQE{Opcode: nvme.AdminAbort,
+				CDW10: uint32(req.sqid) | uint32(req.cid)<<16}
+			_, err := m.admin.Exec(p, &cmd)
+			if err == nil {
+				m.AbortsIssued++
+				req.reply.Trigger(nil)
+			} else {
+				req.reply.Trigger(err)
+			}
 		}
 	}
+}
+
+// reapTick scans session leases; it runs from the weak reaper ticker.
+// Expired sessions are handed to short-lived reclaim processes (the
+// teardown blocks on admin commands, which a ticker callback must not).
+func (m *Manager) reapTick(now sim.Time) {
+	if now < m.graceUntil || now < m.downUntil {
+		return
+	}
+	// Scan QIDs in order, not map order, for deterministic replay.
+	for qid := 1; qid < len(m.used); qid++ {
+		s := m.sessions[uint16(qid)]
+		if s == nil || s.reclaiming || now-s.lastBeat <= m.params.LeaseNs {
+			continue
+		}
+		s.reclaiming = true
+		sess := s
+		m.node.Host().Domain().Kernel().Spawn(
+			fmt.Sprintf("core/reclaim-q%d", qid),
+			func(p *sim.Proc) { m.reclaim(p, sess) })
+	}
+}
+
+// reclaim tears down a dead client's queue pair: delete SQ and CQ
+// through the admin queue, release its device reference (unmapping every
+// DMA window it held), free the QID and tombstone it so a straggling
+// release from the "dead" client gets ErrQueueReclaimed instead of
+// corrupting a future grant.
+func (m *Manager) reclaim(p *sim.Proc, s *session) {
+	t0 := p.Now()
+	ev := ReclaimEvent{Host: s.host, QID: s.qid, DetectedNs: t0}
+	if err := m.deleteQP(p, s.qid); err != nil {
+		ev.Err = err.Error()
+	}
+	if s.ref != nil {
+		if err := s.ref.Release(); err != nil && ev.Err == "" {
+			ev.Err = err.Error()
+		}
+	}
+	delete(m.sessions, s.qid)
+	m.tombstones[s.qid] = true
+	ev.DurationNs = p.Now() - t0
+	m.Reclaims++
+	m.ReclaimsByHost[s.host]++
+	if m.reclaimHist != nil {
+		m.reclaimHist.AddNs(ev.DurationNs)
+	}
+	m.ReclaimLog = append(m.ReclaimLog, ev)
+}
+
+// InjectRestart takes the manager's control plane down for d virtual ns
+// from now: requests queue in the mailbox and are serviced after it
+// comes back. Sessions get a fresh grace period of one LeaseNs past the
+// outage, so the restart itself cannot expire leases the clients had no
+// way to refresh while the manager was down. Callable from timer
+// callbacks; it never blocks.
+func (m *Manager) InjectRestart(d int64) {
+	now := m.node.Host().Domain().Kernel().Now()
+	if until := now + d; until > m.downUntil {
+		m.downUntil = until
+	}
+	if m.params.LeaseNs > 0 {
+		if g := m.downUntil + m.params.LeaseNs; g > m.graceUntil {
+			m.graceUntil = g
+		}
+	}
+	m.Restarts++
 }
 
 func (m *Manager) createQP(p *sim.Proc, req *qpRequest) (QueueGrant, error) {
@@ -367,14 +566,34 @@ func (m *Manager) cmbAlloc(size uint64) (uint64, error) {
 // sits on the I/O path).
 func (m *Manager) IOMMU() *iommu.Unit { return m.mmu }
 
-// RequestQueuePair asks the manager to create an I/O queue pair whose SQ
-// and CQ live at the given device-domain addresses. A nonzero msiDevAddr
-// additionally requests MSI-X delivery to that (device-domain) address.
-// Called from a client process; the round trip models the shared-memory
-// RPC of §V.
-func (m *Manager) RequestQueuePair(p *sim.Proc, depth int, sqDevAddr, cqDevAddr, msiDevAddr, iovaBytes, cmbBytes uint64) (QueueGrant, error) {
-	req := &qpRequest{depth: depth, sqDevAddr: sqDevAddr, cqDevAddr: cqDevAddr,
-		msiDevAddr: msiDevAddr, iovaBytes: iovaBytes, cmbBytes: cmbBytes,
+// QueueRequest is the client→manager queue-pair request payload.
+type QueueRequest struct {
+	// Depth is the requested queue depth.
+	Depth int
+	// SQDevAddr/CQDevAddr locate queue memory in the device domain.
+	SQDevAddr uint64
+	CQDevAddr uint64
+	// MSIAddr, when nonzero, requests MSI-X delivery to that
+	// device-domain address.
+	MSIAddr uint64
+	// IOVABytes, when nonzero, requests a slice of the IOMMU aperture.
+	IOVABytes uint64
+	// CMBBytes, when nonzero, asks for SQ placement in controller memory.
+	CMBBytes uint64
+	// Ref and Host identify the requester for session tracking: on a
+	// LeaseNs manager, a non-nil Ref registers a session whose lease the
+	// client must refresh via heartbeats, and whose DMA windows the
+	// manager releases (through Ref) if the client dies.
+	Ref  *smartio.Ref
+	Host uint32
+}
+
+// RequestQueue asks the manager to create an I/O queue pair. Called from
+// a client process; the round trip models the shared-memory RPC of §V.
+func (m *Manager) RequestQueue(p *sim.Proc, r QueueRequest) (QueueGrant, error) {
+	req := &qpRequest{depth: r.Depth, sqDevAddr: r.SQDevAddr, cqDevAddr: r.CQDevAddr,
+		msiDevAddr: r.MSIAddr, iovaBytes: r.IOVABytes, cmbBytes: r.CMBBytes,
+		ref: r.Ref, host: r.Host,
 		reply: sim.NewEvent(p.Kernel())}
 	p.Sleep(m.params.RPCTransportNs)
 	m.mail.Push(req)
@@ -387,6 +606,38 @@ func (m *Manager) RequestQueuePair(p *sim.Proc, depth int, sqDevAddr, cqDevAddr,
 		return QueueGrant{}, out
 	}
 	return QueueGrant{}, ErrBadGrant
+}
+
+// RequestQueuePair is the positional-argument form of RequestQueue,
+// without session tracking. A nonzero msiDevAddr additionally requests
+// MSI-X delivery to that (device-domain) address.
+func (m *Manager) RequestQueuePair(p *sim.Proc, depth int, sqDevAddr, cqDevAddr, msiDevAddr, iovaBytes, cmbBytes uint64) (QueueGrant, error) {
+	return m.RequestQueue(p, QueueRequest{Depth: depth, SQDevAddr: sqDevAddr,
+		CQDevAddr: cqDevAddr, MSIAddr: msiDevAddr, IOVABytes: iovaBytes, CMBBytes: cmbBytes})
+}
+
+// Heartbeat refreshes the client's session lease (fire-and-forget: one
+// posted mailbox write, no reply to wait for).
+func (m *Manager) Heartbeat(p *sim.Proc, qid uint16) {
+	p.Sleep(m.params.RPCTransportNs)
+	m.mail.Push(&heartbeatMsg{qid: qid})
+}
+
+// AbortCommand asks the manager to issue an NVMe Abort for (sqid, cid),
+// the distributed equivalent of the kernel driver's timeout handler. The
+// simulated controller runs commands to completion, so the abort comes
+// back "not aborted" — but it costs real admin-queue time and is
+// counted, matching the control-plane traffic a real recovery generates.
+func (m *Manager) AbortCommand(p *sim.Proc, sqid, cid uint16) error {
+	req := &abortReq{sqid: sqid, cid: cid, reply: sim.NewEvent(p.Kernel())}
+	p.Sleep(m.params.RPCTransportNs)
+	m.mail.Push(req)
+	v := p.Wait(req.reply)
+	p.Sleep(m.params.RPCTransportNs)
+	if v == nil {
+		return nil
+	}
+	return v.(error)
 }
 
 // ReleaseQueuePair returns a queue pair to the manager.

@@ -1,0 +1,287 @@
+// Package fault is the deterministic fault plane: a seed-driven
+// scheduler of fabric, device and host failures on the simulation clock.
+//
+// The plane separates *what can fail* from *what is failing in this
+// run*: targets (NTB adapters, clients, the manager, the controller) are
+// bound once, and a plan of Actions — hand-written or generated from a
+// seeded RNG — is armed on the kernel as absolute-time timers. Because
+// the plan derives only from the seed and every injection lands at a
+// fixed virtual time, a fault run is reproducible byte-for-byte: same
+// seed, same faults, same recovery, same telemetry.
+//
+// Injection mechanics live in the layers themselves (ntb.InjectLinkDown,
+// nvme.QueueView.DropSQDoorbells, nvme.Controller.InjectDropCQEs,
+// core.Client.Crash, core.Manager.InjectRestart); the plane only decides
+// when to pull which lever, and counts every pull.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ntb"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault classes, from least to most severe: a degraded link, a dead
+// link, lost doorbells, lost completions, a dead host, a restarting
+// manager.
+const (
+	LinkStall Kind = iota
+	LinkDown
+	DropSQDoorbells
+	DropCQEs
+	CrashHost
+	RestartManager
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkStall:
+		return "link-stall"
+	case LinkDown:
+		return "link-down"
+	case DropSQDoorbells:
+		return "drop-sq-doorbells"
+	case DropCQEs:
+		return "drop-cqes"
+	case CrashHost:
+		return "crash-host"
+	case RestartManager:
+		return "restart-manager"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name, keeping fault-plan JSON
+// readable and stable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// Action is one scheduled injection. Unused fields stay zero: a
+// CrashHost needs only AtNs and Host; a LinkStall also uses DurationNs
+// and ExtraNs; the Drop kinds use Count.
+type Action struct {
+	// AtNs is the absolute virtual time the fault fires.
+	AtNs int64 `json:"at_ns"`
+	// Kind selects the fault class.
+	Kind Kind `json:"kind"`
+	// Host is the target client host (ignored for RestartManager).
+	Host int `json:"host,omitempty"`
+	// DurationNs bounds time-windowed faults (link down/stall, restart).
+	DurationNs int64 `json:"duration_ns,omitempty"`
+	// ExtraNs is the added per-crossing latency of a LinkStall.
+	ExtraNs int64 `json:"extra_ns,omitempty"`
+	// Count sizes the Drop kinds (doorbells / CQEs to lose).
+	Count int `json:"count,omitempty"`
+}
+
+// Counters tally injections by class; Skipped counts actions whose
+// target was not bound when they fired.
+type Counters struct {
+	LinkStalls      uint64 `json:"link_stalls"`
+	LinkDowns       uint64 `json:"link_downs"`
+	DoorbellDrops   uint64 `json:"doorbell_drops"`
+	CQEDrops        uint64 `json:"cqe_drops"`
+	HostCrashes     uint64 `json:"host_crashes"`
+	ManagerRestarts uint64 `json:"manager_restarts"`
+	Skipped         uint64 `json:"skipped"`
+}
+
+// Plane schedules and fires a fault plan against bound targets.
+type Plane struct {
+	k    *sim.Kernel
+	seed int64
+	rng  *rand.Rand
+	plan []Action
+
+	adapters map[int]*ntb.ClusterAdapter
+	clients  map[int]*core.Client
+	mgr      *core.Manager
+	ctrl     *nvme.Controller
+
+	// C tallies every injection taken.
+	C Counters
+}
+
+// New creates a plane on k whose random plan generation derives from
+// seed alone.
+func New(k *sim.Kernel, seed int64) *Plane {
+	return &Plane{
+		k:        k,
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		adapters: make(map[int]*ntb.ClusterAdapter),
+		clients:  make(map[int]*core.Client),
+	}
+}
+
+// Seed returns the plan seed.
+func (pl *Plane) Seed() int64 { return pl.seed }
+
+// BindAdapter registers host's NTB cluster adapter as a link-fault
+// target. Bind only client hosts: faulting the device host's adapter
+// severs the controller's DMA path to every client at once (a
+// cluster-partition scenario, not a single-host fault).
+func (pl *Plane) BindAdapter(host int, a *ntb.ClusterAdapter) { pl.adapters[host] = a }
+
+// BindClient registers host's core client as a crash/doorbell target.
+// Binding may happen after Arm: actions look their target up at fire
+// time and count a miss in C.Skipped.
+func (pl *Plane) BindClient(host int, c *core.Client) { pl.clients[host] = c }
+
+// BindManager registers the manager as the RestartManager target.
+func (pl *Plane) BindManager(m *core.Manager) { pl.mgr = m }
+
+// BindController registers the controller as the DropCQEs target.
+func (pl *Plane) BindController(c *nvme.Controller) { pl.ctrl = c }
+
+// Schedule appends one action to the plan (before Arm).
+func (pl *Plane) Schedule(a Action) { pl.plan = append(pl.plan, a) }
+
+// Plan returns a copy of the scheduled actions, sorted by fire time —
+// the reproducible fault schedule a report can echo.
+func (pl *Plane) Plan() []Action {
+	out := append([]Action(nil), pl.plan...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNs < out[j].AtNs })
+	return out
+}
+
+// PlanSpec drives RandomPlan: how many injections of each class to
+// place, at rng-chosen times within [StartNs, EndNs) and rng-chosen
+// client hosts in [1, Hosts]. Deterministic for a fixed plane seed.
+type PlanSpec struct {
+	StartNs int64
+	EndNs   int64
+	// Hosts is the number of client hosts; targets draw from 1..Hosts.
+	Hosts int
+
+	LinkStalls   int
+	StallExtraNs int64
+	StallNs      int64
+
+	LinkDowns int
+	DownNs    int64
+
+	DoorbellDrops int
+	CQEDrops      int
+}
+
+// RandomPlan appends spec's faults at seed-derived times and hosts.
+// Crash and restart faults are deliberately excluded: they change the
+// population of the run and belong in the explicit part of a scenario.
+func (pl *Plane) RandomPlan(spec PlanSpec) {
+	at := func() int64 {
+		if spec.EndNs <= spec.StartNs {
+			return spec.StartNs
+		}
+		return spec.StartNs + pl.rng.Int63n(spec.EndNs-spec.StartNs)
+	}
+	host := func() int {
+		if spec.Hosts <= 1 {
+			return 1
+		}
+		return 1 + pl.rng.Intn(spec.Hosts)
+	}
+	for i := 0; i < spec.LinkStalls; i++ {
+		pl.Schedule(Action{AtNs: at(), Kind: LinkStall, Host: host(),
+			DurationNs: spec.StallNs, ExtraNs: spec.StallExtraNs})
+	}
+	for i := 0; i < spec.LinkDowns; i++ {
+		pl.Schedule(Action{AtNs: at(), Kind: LinkDown, Host: host(), DurationNs: spec.DownNs})
+	}
+	for i := 0; i < spec.DoorbellDrops; i++ {
+		pl.Schedule(Action{AtNs: at(), Kind: DropSQDoorbells, Host: host(), Count: 1})
+	}
+	for i := 0; i < spec.CQEDrops; i++ {
+		pl.Schedule(Action{AtNs: at(), Kind: DropCQEs, Host: host(), Count: 1})
+	}
+}
+
+// Arm schedules every planned action on the kernel as an absolute-time
+// timer. Call once, after the plan is complete; actions in the past
+// fire at the current instant.
+func (pl *Plane) Arm() {
+	for _, a := range pl.Plan() {
+		act := a
+		d := act.AtNs - pl.k.Now()
+		if d < 0 {
+			d = 0
+		}
+		pl.k.After(d, func() { pl.fire(act) })
+	}
+}
+
+// fire applies one action to its bound target.
+func (pl *Plane) fire(a Action) {
+	switch a.Kind {
+	case LinkStall:
+		ad := pl.adapters[a.Host]
+		if ad == nil {
+			pl.C.Skipped++
+			return
+		}
+		ad.InjectStall(a.ExtraNs, a.DurationNs)
+		pl.C.LinkStalls++
+	case LinkDown:
+		ad := pl.adapters[a.Host]
+		if ad == nil {
+			pl.C.Skipped++
+			return
+		}
+		ad.InjectLinkDown(a.DurationNs)
+		pl.C.LinkDowns++
+	case DropSQDoorbells:
+		cl := pl.clients[a.Host]
+		if cl == nil || cl.Crashed() {
+			pl.C.Skipped++
+			return
+		}
+		cl.QueueView().DropSQDoorbells += a.Count
+		pl.C.DoorbellDrops += uint64(a.Count)
+	case DropCQEs:
+		cl := pl.clients[a.Host]
+		if pl.ctrl == nil || cl == nil || cl.Crashed() {
+			pl.C.Skipped++
+			return
+		}
+		pl.ctrl.InjectDropCQEs(cl.QID(), a.Count)
+		pl.C.CQEDrops += uint64(a.Count)
+	case CrashHost:
+		cl := pl.clients[a.Host]
+		if cl == nil || cl.Crashed() {
+			pl.C.Skipped++
+			return
+		}
+		cl.Crash()
+		pl.C.HostCrashes++
+	case RestartManager:
+		if pl.mgr == nil {
+			pl.C.Skipped++
+			return
+		}
+		pl.mgr.InjectRestart(a.DurationNs)
+		pl.C.ManagerRestarts++
+	default:
+		pl.C.Skipped++
+	}
+}
+
+// Wire registers the plane's counters as fault.* gauges.
+func (pl *Plane) Wire(reg *trace.Registry) {
+	reg.GaugeFunc("fault.link_stalls", func() float64 { return float64(pl.C.LinkStalls) })
+	reg.GaugeFunc("fault.link_downs", func() float64 { return float64(pl.C.LinkDowns) })
+	reg.GaugeFunc("fault.doorbell_drops", func() float64 { return float64(pl.C.DoorbellDrops) })
+	reg.GaugeFunc("fault.cqe_drops", func() float64 { return float64(pl.C.CQEDrops) })
+	reg.GaugeFunc("fault.host_crashes", func() float64 { return float64(pl.C.HostCrashes) })
+	reg.GaugeFunc("fault.manager_restarts", func() float64 { return float64(pl.C.ManagerRestarts) })
+	reg.GaugeFunc("fault.skipped", func() float64 { return float64(pl.C.Skipped) })
+}

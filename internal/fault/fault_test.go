@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRandomPlanDeterministic: two planes with the same seed generate
+// identical plans; a different seed diverges.
+func TestRandomPlanDeterministic(t *testing.T) {
+	spec := PlanSpec{StartNs: 1_000, EndNs: 900_000, Hosts: 4,
+		LinkStalls: 3, StallExtraNs: 2_000, StallNs: 10_000,
+		LinkDowns: 2, DownNs: 5_000, DoorbellDrops: 4, CQEDrops: 4}
+	gen := func(seed int64) []Action {
+		pl := New(sim.NewKernel(), seed)
+		pl.RandomPlan(spec)
+		return pl.Plan()
+	}
+	a, b := gen(7), gen(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if len(a) != spec.LinkStalls+spec.LinkDowns+spec.DoorbellDrops+spec.CQEDrops {
+		t.Fatalf("plan size %d", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtNs < a[i-1].AtNs {
+			t.Fatal("plan not sorted by fire time")
+		}
+	}
+	if c := gen(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, act := range a {
+		if act.Host < 1 || act.Host > spec.Hosts {
+			t.Fatalf("action targets host %d outside 1..%d", act.Host, spec.Hosts)
+		}
+		if act.AtNs < spec.StartNs || act.AtNs >= spec.EndNs {
+			t.Fatalf("action at %d outside [%d,%d)", act.AtNs, spec.StartNs, spec.EndNs)
+		}
+	}
+}
+
+// TestKindJSON pins the readable plan encoding.
+func TestKindJSON(t *testing.T) {
+	b, err := json.Marshal(Action{AtNs: 5, Kind: CrashHost, Host: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"at_ns":5,"kind":"crash-host","host":2}`
+	if string(b) != want {
+		t.Fatalf("got %s, want %s", b, want)
+	}
+}
+
+// TestUnboundTargetsSkipped: armed actions whose targets were never
+// bound fire as counted no-ops instead of panicking.
+func TestUnboundTargetsSkipped(t *testing.T) {
+	k := sim.NewKernel()
+	pl := New(k, 1)
+	pl.Schedule(Action{AtNs: 100, Kind: CrashHost, Host: 1})
+	pl.Schedule(Action{AtNs: 200, Kind: LinkDown, Host: 1, DurationNs: 50})
+	pl.Schedule(Action{AtNs: 300, Kind: RestartManager, DurationNs: 50})
+	k.Spawn("driver", func(p *sim.Proc) {
+		pl.Arm()
+		p.Sleep(1_000)
+	})
+	k.RunAll()
+	if pl.C.Skipped != 3 {
+		t.Fatalf("Skipped = %d, want 3", pl.C.Skipped)
+	}
+}

@@ -73,6 +73,10 @@ func (p Params) withDefaults() Params {
 // ErrTooLarge is returned for transfers beyond the per-command PRP pool.
 var ErrTooLarge = errors.New("hostdriver: transfer exceeds command PRP pool")
 
+// ErrBadBuffer is returned when a caller's buffer length does not match
+// the block count of the request.
+var ErrBadBuffer = errors.New("hostdriver: buffer size does not match request")
+
 // StatusError reports a non-success NVMe completion status.
 type StatusError struct {
 	Status uint16
@@ -352,7 +356,7 @@ func (d *Driver) Flush(p *sim.Proc) error {
 func (d *Driver) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte) error {
 	bs := d.BlockSize()
 	if len(buf) != nblk*bs {
-		return fmt.Errorf("hostdriver: buffer %d bytes for %d blocks", len(buf), nblk)
+		return fmt.Errorf("%w: %d bytes for %d blocks", ErrBadBuffer, len(buf), nblk)
 	}
 	pages := (len(buf) + nvme.PageSize - 1) / nvme.PageSize
 	if pages > d.params.MaxPages {
@@ -471,7 +475,7 @@ func (d *Driver) WriteZeroesBlocks(p *sim.Proc, lba uint64, nblk int) error {
 // holds exactly the given data at [lba, lba+nblk).
 func (d *Driver) CompareBlocks(p *sim.Proc, lba uint64, nblk int, data []byte) error {
 	if len(data) != nblk*d.BlockSize() {
-		return fmt.Errorf("hostdriver: buffer %d bytes for %d blocks", len(data), nblk)
+		return fmt.Errorf("%w: %d bytes for %d blocks", ErrBadBuffer, len(data), nblk)
 	}
 	q := d.pick()
 	cmd := nvme.SQE{Opcode: nvme.IOCompare, NSID: 1,

@@ -26,11 +26,22 @@ type ClusterAdapter struct {
 	// windows written. Plain observability counters.
 	Translations uint64
 	Programmed   uint64
+	// LinkFaults counts translations refused while an injected outage
+	// was active; SlowCrossings counts crossings that paid an injected
+	// stall penalty.
+	LinkFaults    uint64
+	SlowCrossings uint64
 
 	local *pcie.Domain
 	node  pcie.NodeID
 	bar   pcie.Range
 	wins  []clusterWindow
+
+	// Fault-injection windows on the virtual clock, same semantics as
+	// NTB.InjectLinkDown / NTB.InjectStall.
+	downUntil   int64
+	slowUntil   int64
+	slowExtraNs int64
 }
 
 type clusterWindow struct {
@@ -156,13 +167,40 @@ func (a *ClusterAdapter) freeOffset(size, align uint64) (uint64, error) {
 	}
 }
 
+// InjectLinkDown takes the adapter's cluster link down for d virtual ns
+// from now: Forward refuses every translation with ErrLinkDown until the
+// window ends. Overlapping injections extend the outage.
+func (a *ClusterAdapter) InjectLinkDown(d int64) {
+	if until := a.local.Kernel().Now() + d; until > a.downUntil {
+		a.downUntil = until
+	}
+}
+
+// InjectStall degrades the link for d virtual ns from now: crossings
+// succeed but each pays extraNs on top of CrossNs.
+func (a *ClusterAdapter) InjectStall(extraNs, d int64) {
+	a.slowExtraNs = extraNs
+	if until := a.local.Kernel().Now() + d; until > a.slowUntil {
+		a.slowUntil = until
+	}
+}
+
 // Forward implements pcie.Forwarder.
 func (a *ClusterAdapter) Forward(addr pcie.Addr) (*pcie.Domain, pcie.NodeID, pcie.Addr, int64, error) {
+	if a.downUntil != 0 && a.local.Kernel().Now() < a.downUntil {
+		a.LinkFaults++
+		return nil, 0, 0, 0, fmt.Errorf("%w: %s until t=%dns", ErrLinkDown, a.Name, a.downUntil)
+	}
 	off := addr - a.bar.Base
 	for _, w := range a.wins {
 		if off >= w.off && off < w.off+w.size {
 			a.Translations++
-			return w.remote, w.entry, w.rbase + (off - w.off), a.CrossNs, nil
+			cross := a.CrossNs
+			if a.slowUntil != 0 && a.local.Kernel().Now() < a.slowUntil {
+				a.SlowCrossings++
+				cross += a.slowExtraNs
+			}
+			return w.remote, w.entry, w.rbase + (off - w.off), cross, nil
 		}
 	}
 	return nil, 0, 0, 0, fmt.Errorf("%w: %s offset %#x", ErrNoTranslation, a.Name, off)

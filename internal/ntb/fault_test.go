@@ -1,0 +1,93 @@
+package ntb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestInjectLinkDownBlocksThenRecovers(t *testing.T) {
+	h := newTwoHosts(t)
+	if err := h.ab.MapWindow(0, 4096, h.memB.Base()); err != nil {
+		t.Fatal(err)
+	}
+	h.k.Spawn("cpuA", func(p *sim.Proc) {
+		if err := h.a.MemWrite(p, h.aRC, barBase, []byte{0x01}); err != nil {
+			t.Errorf("write before fault: %v", err)
+		}
+		h.ab.InjectLinkDown(10_000)
+		if err := h.a.MemWrite(p, h.aRC, barBase, []byte{0x02}); !errors.Is(err, ErrLinkDown) {
+			t.Errorf("write during outage: %v, want ErrLinkDown", err)
+		}
+		p.Sleep(20_000)
+		if err := h.a.MemWrite(p, h.aRC, barBase, []byte{0x03}); err != nil {
+			t.Errorf("write after recovery: %v", err)
+		}
+	})
+	h.k.RunAll()
+	if h.ab.LinkFaults != 1 {
+		t.Fatalf("LinkFaults = %d, want 1", h.ab.LinkFaults)
+	}
+	b := make([]byte, 1)
+	h.memB.Read(h.memB.Base(), b)
+	if b[0] != 0x03 {
+		t.Fatalf("remote memory holds %#x; dropped write leaked or recovery write lost", b[0])
+	}
+}
+
+func TestInjectStallSlowsCrossings(t *testing.T) {
+	h := newTwoHosts(t)
+	if err := h.ab.MapWindow(0, 4096, h.memB.Base()); err != nil {
+		t.Fatal(err)
+	}
+	const extra = 5_000
+	var normal, stalled sim.Duration
+	h.k.Spawn("cpuA", func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := h.a.MemRead(p, h.aRC, barBase, make([]byte, 8)); err != nil {
+			t.Error(err)
+		}
+		normal = p.Now() - t0
+		h.ab.InjectStall(extra, 50_000)
+		t0 = p.Now()
+		if err := h.a.MemRead(p, h.aRC, barBase, make([]byte, 8)); err != nil {
+			t.Error(err)
+		}
+		stalled = p.Now() - t0
+	})
+	h.k.RunAll()
+	if h.ab.SlowCrossings == 0 {
+		t.Fatal("no slow crossings recorded")
+	}
+	if stalled < normal+extra {
+		t.Fatalf("stalled read %d ns, want >= normal %d + extra %d", stalled, normal, extra)
+	}
+}
+
+func TestAdapterInjectLinkDown(t *testing.T) {
+	c := newTriCluster(t)
+	addr, err := c.adpt[0].MapAuto(4096, 4096, c.dom[1], c.nep[1], c.mem[1].Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.k.Spawn("cpuA", func(p *sim.Proc) {
+		c.adpt[0].InjectLinkDown(10_000)
+		if err := c.dom[0].MemWrite(p, c.rc[0], addr, []byte{0xEE}); !errors.Is(err, ErrLinkDown) {
+			t.Errorf("write during outage: %v, want ErrLinkDown", err)
+		}
+		p.Sleep(15_000)
+		if err := c.dom[0].MemWrite(p, c.rc[0], addr, []byte{0xAB}); err != nil {
+			t.Errorf("write after recovery: %v", err)
+		}
+	})
+	c.k.RunAll()
+	if c.adpt[0].LinkFaults != 1 {
+		t.Fatalf("LinkFaults = %d, want 1", c.adpt[0].LinkFaults)
+	}
+	b := make([]byte, 1)
+	c.mem[1].Read(c.mem[1].Base(), b)
+	if b[0] != 0xAB {
+		t.Fatalf("remote memory holds %#x after recovery", b[0])
+	}
+}

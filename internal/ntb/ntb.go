@@ -30,6 +30,10 @@ var (
 	ErrWindowInUse   = errors.New("ntb: window overlaps existing window")
 	ErrNoTranslation = errors.New("ntb: address not covered by any window")
 	ErrNotMapped     = errors.New("ntb: no window at offset")
+	// ErrLinkDown is returned by Forward while an injected link outage is
+	// active: every transaction through the bridge fails at resolution
+	// time, exactly as a surprise link-down drops TLPs at a real NTB.
+	ErrLinkDown = errors.New("ntb: link down")
 )
 
 // DefaultMaxWindows is the default LUT size, matching small commodity NTB
@@ -60,6 +64,11 @@ type NTB struct {
 	// observability counters — reading them never perturbs the model.
 	Translations uint64
 	Programmed   uint64
+	// LinkFaults counts translations refused while an injected outage was
+	// active; SlowCrossings counts crossings that paid an injected stall
+	// penalty.
+	LinkFaults    uint64
+	SlowCrossings uint64
 
 	local       *pcie.Domain
 	node        pcie.NodeID
@@ -67,6 +76,13 @@ type NTB struct {
 	remote      *pcie.Domain
 	remoteEntry pcie.NodeID
 	windows     []window
+
+	// Fault-injection windows on the virtual clock (see InjectLinkDown
+	// and InjectStall): before downUntil every Forward fails with
+	// ErrLinkDown; before slowUntil every crossing costs slowExtraNs more.
+	downUntil   int64
+	slowUntil   int64
+	slowExtraNs int64
 }
 
 type window struct {
@@ -206,14 +222,42 @@ func (n *NTB) Translate(addr pcie.Addr) (pcie.Addr, error) {
 	return 0, fmt.Errorf("%w: %s offset %#x", ErrNoTranslation, n.Name, off)
 }
 
+// InjectLinkDown takes the bridge down for d virtual ns from now:
+// Forward refuses every translation with ErrLinkDown until the window
+// ends. Overlapping injections extend the outage, never shorten it.
+func (n *NTB) InjectLinkDown(d int64) {
+	if until := n.local.Kernel().Now() + d; until > n.downUntil {
+		n.downUntil = until
+	}
+}
+
+// InjectStall degrades the link for d virtual ns from now: crossings
+// still succeed but each pays extraNs on top of CrossNs, modeling a
+// retraining link rather than a hard outage.
+func (n *NTB) InjectStall(extraNs, d int64) {
+	n.slowExtraNs = extraNs
+	if until := n.local.Kernel().Now() + d; until > n.slowUntil {
+		n.slowUntil = until
+	}
+}
+
 // Forward implements pcie.Forwarder.
 func (n *NTB) Forward(addr pcie.Addr) (*pcie.Domain, pcie.NodeID, pcie.Addr, int64, error) {
+	if n.downUntil != 0 && n.local.Kernel().Now() < n.downUntil {
+		n.LinkFaults++
+		return nil, 0, 0, 0, fmt.Errorf("%w: %s until t=%dns", ErrLinkDown, n.Name, n.downUntil)
+	}
 	raddr, err := n.Translate(addr)
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
 	n.Translations++
-	return n.remote, n.remoteEntry, raddr, n.CrossNs, nil
+	cross := n.CrossNs
+	if n.slowUntil != 0 && n.local.Kernel().Now() < n.slowUntil {
+		n.SlowCrossings++
+		cross += n.slowExtraNs
+	}
+	return n.remote, n.remoteEntry, raddr, cross, nil
 }
 
 // TargetWrite implements pcie.Target. It is never invoked when routing is

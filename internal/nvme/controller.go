@@ -121,6 +121,9 @@ type QueueStats struct {
 	// SQDoorbells counts tail doorbell register writes for this queue
 	// (the device-side view of this host's ring traffic).
 	SQDoorbells uint64
+	// CQEsDropped counts completions discarded by fault injection
+	// (InjectDropCQEs) for this queue.
+	CQEsDropped uint64
 }
 
 // Stats are controller counters exposed for tests and tools.
@@ -139,6 +142,10 @@ type Stats struct {
 	// compare QueueView.SQDoorbells for the driver-side view).
 	SQDoorbellWrites uint64
 	CQDoorbellWrites uint64
+	// CQEsDropped counts completions discarded by fault injection
+	// (InjectDropCQEs): the command executed but its CQE never reached
+	// the host, which must recover by timeout + retry.
+	CQEsDropped uint64
 }
 
 // Controller is a simulated single-function NVMe controller. Create it
@@ -183,6 +190,10 @@ type Controller struct {
 	// qstats attributes work to individual queues, indexed by SQ ID.
 	qstats []QueueStats
 
+	// dropCQE counts, per SQ ID, completions to silently discard (fault
+	// injection, see InjectDropCQEs).
+	dropCQE []int
+
 	// tracer records device-side hops (fetch, decode, medium, transfer,
 	// completion post) on the span keyed by (SQ ID, CID). Nil when
 	// tracing is off.
@@ -204,7 +215,8 @@ func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Me
 		sqs:    make([]*subQueue, p.MaxQueuePairs),
 		cqs:    make([]*compQueue, p.MaxQueuePairs),
 		msi:    make([]MSIEntry, p.MaxQueuePairs),
-		qstats: make([]QueueStats, p.MaxQueuePairs),
+		qstats:  make([]QueueStats, p.MaxQueuePairs),
+		dropCQE: make([]int, p.MaxQueuePairs),
 		ident: IdentifyController{
 			VID:      0x8086,
 			SSVID:    0x8086,
@@ -599,6 +611,15 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 		c.csts |= CSTSCFS
 		return
 	}
+	if c.dropCQE[sq.id] > 0 {
+		// Injected fault: the command executed but its completion is lost
+		// before reaching the CQ. Exactly this CID disappears; later
+		// completions for the queue are unaffected.
+		c.dropCQE[sq.id]--
+		c.Stats.CQEsDropped++
+		c.qstats[sq.id].CQEsDropped++
+		return
+	}
 	for (cq.tail+1)%cq.size == cq.head {
 		p.WaitSignal(c.cqSpace)
 	}
@@ -624,6 +645,14 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 	c.qstats[sq.id].Completions++
 	if cq.ien {
 		c.interrupt(p, cq.iv)
+	}
+}
+
+// InjectDropCQEs arms the controller to discard the next n completions
+// destined for SQ qid (fault injection). Out-of-range qids are ignored.
+func (c *Controller) InjectDropCQEs(qid uint16, n int) {
+	if int(qid) < len(c.dropCQE) {
+		c.dropCQE[qid] += n
 	}
 }
 

@@ -1,0 +1,137 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// poll drains at most one CQE, returning ok=false once deadline passes.
+func pollUntil(t *testing.T, p *sim.Proc, r *rig, q *QueueView, deadline sim.Time) (CQE, bool) {
+	t.Helper()
+	for {
+		cqe, ok, err := q.Poll(p, r.host)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if ok {
+			return cqe, true
+		}
+		if p.Now() > deadline {
+			return CQE{}, false
+		}
+		p.Sleep(200)
+	}
+}
+
+// TestDroppedDoorbellDeferredRecovery models a lost SQ doorbell MMIO:
+// the SQE is committed but the device never learns of it, so the
+// command stalls — until the next doorbell write publishes the
+// cumulative tail and both commands execute in order.
+func TestDroppedDoorbellDeferredRecovery(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 8)
+		buf, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		q.DropSQDoorbells = 1
+		cmd1 := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf, CDW10: 0, CDW12: 0}
+		cmd1.CID = q.NextCID()
+		if err := q.Submit(p, r.host, &cmd1); err != nil {
+			t.Fatalf("submit with dropped doorbell: %v", err)
+		}
+		if q.SQDoorbellsDropped != 1 {
+			t.Fatalf("SQDoorbellsDropped = %d, want 1", q.SQDoorbellsDropped)
+		}
+		// The device was never rung: nothing completes.
+		if cqe, ok := pollUntil(t, p, r, q, p.Now()+200*sim.Microsecond); ok {
+			t.Fatalf("unexpected completion CID %d after dropped doorbell", cqe.CID)
+		}
+
+		// The next submission's doorbell carries the cumulative tail and
+		// recovers the stalled command too.
+		cmd2 := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf, CDW10: 8, CDW12: 0}
+		cmd2.CID = q.NextCID()
+		if err := q.Submit(p, r.host, &cmd2); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		got := map[uint16]bool{}
+		for len(got) < 2 {
+			cqe, ok := pollUntil(t, p, r, q, p.Now()+100*sim.Millisecond)
+			if !ok {
+				t.Fatalf("timed out with %d/2 completions", len(got))
+			}
+			if !cqe.OK() {
+				t.Fatalf("CID %d status %#x", cqe.CID, cqe.Status())
+			}
+			got[cqe.CID] = true
+		}
+		if !got[cmd1.CID] || !got[cmd2.CID] {
+			t.Fatalf("completions %v, want CIDs %d and %d", got, cmd1.CID, cmd2.CID)
+		}
+	})
+}
+
+// TestDelayedDoorbell holds the doorbell MMIO for a configured delay;
+// the command still completes, just later.
+func TestDelayedDoorbell(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 8)
+		buf, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const delay = 50 * sim.Microsecond
+		q.DelaySQDoorbells, q.DelaySQDoorbellNs = 1, delay
+		t0 := p.Now()
+		cqe := execIO(t, p, r.host, q, &SQE{Opcode: IOWrite, NSID: 1, PRP1: buf})
+		if !cqe.OK() {
+			t.Fatalf("status %#x", cqe.Status())
+		}
+		if q.SQDoorbellsDelayed != 1 {
+			t.Fatalf("SQDoorbellsDelayed = %d, want 1", q.SQDoorbellsDelayed)
+		}
+		if took := p.Now() - t0; took < delay {
+			t.Fatalf("I/O took %d ns, want >= %d (delay applied)", took, delay)
+		}
+	})
+}
+
+// TestInjectDropCQEs loses exactly N completions for one queue: the
+// commands execute (media state changes) but their CQEs never post —
+// the lost-completion half of the host-timeout story.
+func TestInjectDropCQEs(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q := r.ioQueue(t, p, a, 8)
+		buf, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ctrl.InjectDropCQEs(1, 1)
+		cmd := SQE{Opcode: IOWrite, NSID: 1, PRP1: buf}
+		cmd.CID = q.NextCID()
+		if err := q.Submit(p, r.host, &cmd); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if cqe, ok := pollUntil(t, p, r, q, p.Now()+500*sim.Microsecond); ok {
+			t.Fatalf("CID %d completed despite dropped CQE", cqe.CID)
+		}
+		if r.ctrl.Stats.CQEsDropped != 1 {
+			t.Fatalf("Stats.CQEsDropped = %d, want 1", r.ctrl.Stats.CQEsDropped)
+		}
+		// Only one CQE was consumed by the fault; the next command
+		// completes normally.
+		cqe := execIO(t, p, r.host, q, &SQE{Opcode: IORead, NSID: 1, PRP1: buf})
+		if !cqe.OK() {
+			t.Fatalf("follow-up status %#x", cqe.Status())
+		}
+	})
+}

@@ -2,12 +2,21 @@ package nvme
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// ErrDoorbellLost marks a submission whose SQE reached the ring but whose
+// tail doorbell write failed in the fabric. The command is committed: it
+// sits in the SQ and will execute as soon as a later doorbell carries a
+// newer cumulative tail, so the caller must treat its CID like a
+// timed-out command (quarantine its buffers until the completion drains),
+// not like a clean submission failure.
+var ErrDoorbellLost = errors.New("nvme: SQ doorbell lost after SQE commit")
 
 // QueueView is the driver-side state for operating one SQ/CQ pair. All
 // addresses are expressed in the *driver host's* domain — for a remote
@@ -50,6 +59,18 @@ type QueueView struct {
 	// entries saves k-1 individual rings. Both stay zero at QD1.
 	SQDoorbellsSaved uint64
 	CQRingsSaved     uint64
+
+	// Fault injection, armed by the fault plane. DropSQDoorbells makes
+	// the next N Ring calls lose their doorbell MMIO in the fabric (the
+	// cumulative tail means a later ring recovers the queued entries);
+	// DelaySQDoorbells stalls the next N doorbell writes by
+	// DelaySQDoorbellNs each. SQDoorbellsDropped / SQDoorbellsDelayed
+	// count injections actually taken.
+	DropSQDoorbells    int
+	DelaySQDoorbells   int
+	DelaySQDoorbellNs  int64
+	SQDoorbellsDropped uint64
+	SQDoorbellsDelayed uint64
 
 	// Tracer, when non-nil, records per-command fabric hops (SQE write,
 	// doorbell, NTB crossing, CQE poll) keyed by (ID, CID). Nil — the
@@ -122,6 +143,10 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 	q.sqTail = (q.sqTail + 1) % q.Size
 	q.inflight++
 	if err := h.Write(p, q.SQAddr+pcie.Addr(slot*SQESize), cmd.Marshal()); err != nil {
+		// The SQE never left this host (resolution failed synchronously),
+		// so roll the ring state back: nothing is committed.
+		q.sqTail = slot
+		q.inflight--
 		return err
 	}
 	tr.Hop(q.ID, cmd.CID, trace.StageSQWrite, t0, p.Now())
@@ -137,11 +162,14 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 		return nil
 	}
 	if tr == nil {
-		return q.Ring(p, h)
+		if err := q.Ring(p, h); err != nil {
+			return fmt.Errorf("%w (%w)", ErrDoorbellLost, err)
+		}
+		return nil
 	}
 	td := p.Now()
 	if err := q.Ring(p, h); err != nil {
-		return err
+		return fmt.Errorf("%w (%w)", ErrDoorbellLost, err)
 	}
 	tr.Hop(q.ID, cmd.CID, trace.StageSQDoorbell, td, p.Now())
 	// Annotate the doorbell TLP's fabric flight when it crosses NTBs: the
@@ -157,6 +185,22 @@ func (q *QueueView) Submit(p *sim.Proc, h *pcie.HostPort, cmd *SQE) error {
 // deferred submissions (used after batched SQE writes and by the last
 // submitter of a coalesced burst).
 func (q *QueueView) Ring(p *sim.Proc, h *pcie.HostPort) error {
+	if q.DropSQDoorbells > 0 {
+		// Injected fault: the driver performed the MMIO but the fabric
+		// lost the posted write. The tail stays advanced past the
+		// controller's view until the next ring, whose cumulative tail
+		// recovers every queued entry — so mark it deferred.
+		q.DropSQDoorbells--
+		q.SQDoorbellsDropped++
+		q.SQDoorbells++
+		q.sqDeferred = true
+		return nil
+	}
+	if q.DelaySQDoorbells > 0 {
+		q.DelaySQDoorbells--
+		q.SQDoorbellsDelayed++
+		p.Sleep(q.DelaySQDoorbellNs)
+	}
 	q.sqDeferred = false
 	q.SQDoorbells++
 	var db [4]byte
@@ -205,14 +249,19 @@ func (q *QueueView) FlushCQ(p *sim.Proc, h *pcie.HostPort) error {
 	if q.cqUnrung == 0 {
 		return nil
 	}
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(q.cqHead))
+	if err := h.Write(p, q.CQDoorbell, db[:]); err != nil {
+		// Keep cqUnrung so a retried flush after a transient fabric fault
+		// still delivers the head update the controller is waiting on.
+		return err
+	}
 	// One ring covers q.cqUnrung consumed entries; all but the first
 	// would have been individual doorbells without LazyCQ.
 	q.CQRingsSaved += uint64(q.cqUnrung - 1)
 	q.cqUnrung = 0
 	q.CQDoorbells++
-	var db [4]byte
-	binary.LittleEndian.PutUint32(db[:], uint32(q.cqHead))
-	return h.Write(p, q.CQDoorbell, db[:])
+	return nil
 }
 
 // CQRange returns the address range of the CQ ring (for Watch).
