@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sweep -what qd|hops|size|hosts [-op read|write] [-ios N]
-//	sweep -wallclock [-ios N] [-out BENCH_sim.json]
+//	sweep -wallclock [-ios N] [-out BENCH_sim.json] [-digest PATH]
 //	sweep -trace out.json [-scenario ours-remote] [-qd 4] [-op read|write] [-ios N]
 //	sweep -telemetry out.json [-hosts N] [-qd D] [-ios N] [-interval NS]
 //	sweep -faults [-seed N] [-hosts N] [-qd D] [-ios N] [-out FAULTS_sim.json]
@@ -14,8 +14,15 @@
 //
 // The -wallclock mode measures the simulator itself (not the simulated
 // system): kernel events dispatched per real second and real nanoseconds
-// per simulated I/O for each Figure 9 scenario, written as JSON so the
-// perf trajectory is tracked across PRs.
+// per simulated I/O for each Figure 9 scenario, plus a GOMAXPROCS
+// 1/2/4/8 scaling curve over the sharded parallel kernel, written as
+// JSON so the perf trajectory is tracked across PRs. With -digest PATH
+// it also writes a small text file containing only virtual-time facts
+// (event counts, virtual durations, run digests) — byte-identical at
+// any GOMAXPROCS, which CI compares across core counts.
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever mode
+// ran, for digging into simulator hot paths.
 //
 // The -trace mode runs one scenario with per-IO tracing on and writes a
 // Chrome trace-event JSON file (loadable at ui.perfetto.dev), plus a
@@ -37,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -66,8 +74,38 @@ func main() {
 		interval  = flag.Int64("interval", 100_000, "telemetry sampling interval in virtual ns")
 		serve     = flag.String("serve", "", "serve live /metrics, /telemetry.json and /healthz on this address during -telemetry (e.g. 127.0.0.1:9120)")
 		linger    = flag.Bool("linger", false, "with -serve, keep serving after the run completes until interrupted")
+		digest    = flag.String("digest", "", "with -wallclock, also write a deterministic virtual-time digest file to this path (byte-identical at any GOMAXPROCS)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		path := *memprof
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 	fop := fio.RandRead
 	if *op == "write" {
 		fop = fio.RandWrite
@@ -89,7 +127,7 @@ func main() {
 		return
 	}
 	if *wallclock {
-		sweepWallclock(fop, *ios, *interval, *out)
+		sweepWallclock(fop, *ios, *interval, *out, *digest)
 		return
 	}
 	switch *what {
@@ -213,10 +251,12 @@ func runTrace(scenario string, op fio.Op, opName string, qd, ios int, out string
 
 // wallclockRun is one measured scenario run in BENCH_sim.json.
 type wallclockRun struct {
-	Scenario     string  `json:"scenario"`
-	Op           string  `json:"op"`
-	QueueDepth   int     `json:"queue_depth"`
-	IOs          int     `json:"ios"`
+	Scenario   string `json:"scenario"`
+	Op         string `json:"op"`
+	QueueDepth int    `json:"queue_depth"`
+	IOs        int    `json:"ios"`
+	// Cores is the GOMAXPROCS the run executed under (v4).
+	Cores        int     `json:"cores"`
 	Events       uint64  `json:"events"`
 	WallNs       int64   `json:"wall_ns"`
 	VirtualNs    int64   `json:"virtual_ns"`
@@ -224,11 +264,37 @@ type wallclockRun struct {
 	NsPerIO      float64 `json:"ns_per_io"`
 }
 
+// scalingRun is one point of the parallel-kernel scaling curve: the
+// sharded fleet-scale scenario executed at a pinned GOMAXPROCS. Digest
+// is identical at every core count — the determinism contract — and
+// sweepWallclock aborts if it is not.
+type scalingRun struct {
+	Cores        int     `json:"cores"`
+	Shards       int     `json:"shards"`
+	Hosts        int     `json:"hosts"`
+	Controllers  int     `json:"controllers"`
+	Parallel     bool    `json:"parallel"`
+	IOs          int     `json:"ios"`
+	Events       uint64  `json:"events"`
+	Windows      uint64  `json:"windows"`
+	Messages     uint64  `json:"messages"`
+	VirtualNs    int64   `json:"virtual_ns"`
+	WallNs       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is EventsPerSec relative to the cores=1 point of the same
+	// sweep; meaningful only when cpus_online provides real parallelism.
+	Speedup float64 `json:"speedup_vs_1core"`
+	Digest  string  `json:"digest"`
+}
+
 // benchSchemaVersion stamps BENCH_sim.json so downstream tooling can
 // detect layout changes. Bump when fields are added, removed or change
 // meaning. v3: per-stage p50/p95/p999 in breakdowns, labeled metric
-// rows, telemetry sampling-interval config echo.
-const benchSchemaVersion = 3
+// rows, telemetry sampling-interval config echo. v4: per-run "cores",
+// top-level "cpus_online", and the "scaling" curve over the sharded
+// parallel kernel; top-level "gomaxprocs" is deprecated (see
+// wallclockReport.GoMaxProcs) and will be dropped next schema bump.
+const benchSchemaVersion = 4
 
 // sweepConfig echoes the scenario configuration a report was produced
 // with, so a BENCH_sim.json is self-describing.
@@ -256,17 +322,30 @@ type scenarioBreakdown struct {
 }
 
 type wallclockReport struct {
-	SchemaVersion int                 `json:"schema_version"`
-	GeneratedUnix int64               `json:"generated_unix"`
-	GoMaxProcs    int                 `json:"gomaxprocs"`
-	Config        sweepConfig         `json:"config"`
-	Runs          []wallclockRun      `json:"runs"`
-	Breakdowns    []scenarioBreakdown `json:"breakdowns"`
+	SchemaVersion int   `json:"schema_version"`
+	GeneratedUnix int64 `json:"generated_unix"`
+	// GoMaxProcs is the ambient GOMAXPROCS the sweep started under.
+	//
+	// Deprecated: superseded in v4 by the per-run "cores" field (runs and
+	// scaling points execute under different GOMAXPROCS within one
+	// sweep). Kept for one schema release so existing consumers keep
+	// parsing; will be removed at v5.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// CPUsOnline is runtime.NumCPU() — the physical parallelism actually
+	// available. Scaling curves flatten when cores exceed this.
+	CPUsOnline int                 `json:"cpus_online"`
+	Config     sweepConfig         `json:"config"`
+	Runs       []wallclockRun      `json:"runs"`
+	Breakdowns []scenarioBreakdown `json:"breakdowns"`
+	// Scaling is the parallel-kernel scaling curve (v4).
+	Scaling []scalingRun `json:"scaling"`
 }
 
 // sweepWallclock measures simulator throughput per scenario at QD1 and
-// QD8 and writes the JSON report.
-func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
+// QD8, sweeps the sharded parallel kernel over GOMAXPROCS 1/2/4/8, and
+// writes the JSON report (plus, optionally, the deterministic digest
+// file CI byte-compares across core counts).
+func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out, digestOut string) {
 	if ios <= 0 {
 		fatal(fmt.Errorf("-wallclock needs -ios > 0 (got %d)", ios))
 	}
@@ -282,6 +361,7 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
 		SchemaVersion: benchSchemaVersion,
 		GeneratedUnix: time.Now().Unix(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		CPUsOnline:    runtime.NumCPU(),
 		Config: sweepConfig{
 			Op: opName, IOs: ios, QueueDepths: []int{1, 8},
 			WarmupIOs: 20, RangeBlocks: 1 << 16, Seed: 7,
@@ -310,6 +390,7 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
 				Op:         opName,
 				QueueDepth: qd,
 				IOs:        ios,
+				Cores:      runtime.GOMAXPROCS(0),
 				Events:     st.Events,
 				WallNs:     wall.Nanoseconds(),
 				VirtualNs:  st.VirtualNs,
@@ -322,6 +403,7 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
 				s, qd, run.Events, run.EventsPerSec, run.NsPerIO)
 		}
 	}
+	rep.Scaling = sweepScaling(ios)
 	// A short traced run per scenario yields the latency-breakdown table
 	// and a cluster metrics snapshot; virtual-time results are unaffected
 	// by tracing, so these describe the same system the runs above timed.
@@ -345,6 +427,92 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", out)
+	if digestOut != "" {
+		if err := os.WriteFile(digestOut, []byte(digestText(&rep)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", digestOut)
+	}
+}
+
+// sweepScaling runs the sharded fleet-scale scenario at GOMAXPROCS
+// 1/2/4/8 (restoring the ambient value afterwards) and returns the
+// scaling curve. The run digest must agree across every core count; a
+// mismatch means the parallel kernel broke determinism and the sweep
+// aborts rather than publish wrong numbers.
+func sweepScaling(ios int) []scalingRun {
+	cfg := cluster.ShardScaleConfig{Hosts: 16, IOsPerHost: ios, Parallel: true}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var curve []scalingRun
+	var baseline float64
+	var refDigest uint64
+	for _, cores := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(cores)
+		// Warm run, then the measured run.
+		if _, err := cluster.RunShardedScale(cfg); err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := cluster.RunShardedScale(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		if len(curve) == 0 {
+			refDigest = res.Digest
+		} else if res.Digest != refDigest {
+			fatal(fmt.Errorf("scaling: digest %#016x at %d cores != %#016x at 1 core — parallel kernel diverged",
+				res.Digest, cores, refDigest))
+		}
+		pt := scalingRun{
+			Cores:        cores,
+			Shards:       res.Shards,
+			Hosts:        res.Hosts,
+			Controllers:  res.Controllers,
+			Parallel:     res.Parallel,
+			IOs:          res.TotalIOs,
+			Events:       res.Events,
+			Windows:      res.Windows,
+			Messages:     res.Messages,
+			VirtualNs:    res.ElapsedNs,
+			WallNs:       wall.Nanoseconds(),
+			EventsPerSec: float64(res.Events) / wall.Seconds(),
+			Digest:       fmt.Sprintf("%016x", res.Digest),
+		}
+		if len(curve) == 0 {
+			baseline = pt.EventsPerSec
+		}
+		if baseline > 0 {
+			pt.Speedup = pt.EventsPerSec / baseline
+		}
+		curve = append(curve, pt)
+		fmt.Printf("scale cores=%d  %9d events  %8.0f events/sec  %.2fx  digest=%s\n",
+			cores, pt.Events, pt.EventsPerSec, pt.Speedup, pt.Digest)
+	}
+	return curve
+}
+
+// digestText renders the virtual-time facts of a report — and nothing
+// wall-clock dependent — as a stable text file. Two sweeps of the same
+// binary and flags produce byte-identical digests regardless of
+// GOMAXPROCS or machine speed; CI compares the files across core counts.
+func digestText(rep *wallclockReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %d\n", rep.SchemaVersion)
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "run %s op=%s qd=%d ios=%d events=%d virtual_ns=%d\n",
+			r.Scenario, r.Op, r.QueueDepth, r.IOs, r.Events, r.VirtualNs)
+	}
+	for _, s := range rep.Scaling {
+		fmt.Fprintf(&b, "scale cores=%d shards=%d ios=%d events=%d windows=%d messages=%d virtual_ns=%d digest=%s\n",
+			s.Cores, s.Shards, s.IOs, s.Events, s.Windows, s.Messages, s.VirtualNs, s.Digest)
+	}
+	for _, bd := range rep.Breakdowns {
+		sum, e2e := bd.Breakdown.ReconcileNs()
+		fmt.Fprintf(&b, "breakdown %s qd=%d stage_sum_ns=%d e2e_ns=%d\n",
+			bd.Scenario, bd.QueueDepth, sum, e2e)
+	}
+	return b.String()
 }
 
 // tracedBreakdown runs scenario s once with tracing and a wired metrics

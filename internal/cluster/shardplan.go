@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/pcie"
+)
+
+// ShardPlan maps a cluster's domains onto execution shards of the
+// parallel kernel (sim.ShardGroup) and carries the conservative lookahead
+// derived from the fabric's minimum crossing latency.
+//
+// Shard numbering: controller shards come first ([0, CtrlShards)), host
+// shards after ([CtrlShards, CtrlShards+HostShards)). Controller c runs
+// on shard c mod CtrlShards; client host i runs on shard
+// CtrlShards + (i mod HostShards).
+type ShardPlan struct {
+	// HostShards and CtrlShards partition the shard space.
+	HostShards int `json:"host_shards"`
+	CtrlShards int `json:"ctrl_shards"`
+	// HostShard maps client host index -> shard ID; CtrlShard maps
+	// controller index -> shard ID.
+	HostShard []int `json:"host_shard"`
+	CtrlShard []int `json:"ctrl_shard"`
+	// LookaheadNs is the conservative sync horizon: no cross-domain
+	// interaction in the modeled fabric completes in less virtual time
+	// than this, so shards may run that far ahead of each other.
+	LookaheadNs int64 `json:"lookahead_ns"`
+}
+
+// Shards returns the total number of execution shards.
+func (p ShardPlan) Shards() int { return p.CtrlShards + p.HostShards }
+
+// MinHostCrossingNs returns the conservative floor of a one-way crossing
+// between two host domains under the cluster's cost model: the adapter's
+// LUT/cluster-switch traversal plus one switch chip on each side plus the
+// base propagation of the entry path. Every routed cross-domain
+// transaction pays at least these components, so the sharded kernel may
+// use this as lookahead without ever admitting a causality violation.
+func MinHostCrossingNs(cfg Config) int64 {
+	cfg = cfg.withDefaults()
+	lp := cfg.Link
+	def := pcie.DefaultLinkParams()
+	if lp.PerSwitchNs == 0 {
+		lp.PerSwitchNs = def.PerSwitchNs
+	}
+	if lp.PropNs == 0 {
+		lp.PropNs = def.PropNs
+	}
+	return cfg.CrossNs + 2*lp.PerSwitchNs + lp.PropNs
+}
+
+// PlanShards lays out hosts and controllers over execution shards.
+// hostShards (resp. ctrlShards) defaults to one shard per host (resp.
+// controller) when zero; hosts and controllers fold onto shards
+// round-robin when fewer shards than members are requested.
+func PlanShards(hosts, hostShards, controllers, ctrlShards int, cfg Config) (ShardPlan, error) {
+	if hosts < 1 {
+		return ShardPlan{}, fmt.Errorf("cluster: shard plan needs at least 1 host, got %d", hosts)
+	}
+	if controllers < 1 {
+		return ShardPlan{}, fmt.Errorf("cluster: shard plan needs at least 1 controller, got %d", controllers)
+	}
+	if hostShards <= 0 || hostShards > hosts {
+		hostShards = hosts
+	}
+	if ctrlShards <= 0 || ctrlShards > controllers {
+		ctrlShards = controllers
+	}
+	p := ShardPlan{
+		HostShards:  hostShards,
+		CtrlShards:  ctrlShards,
+		LookaheadNs: MinHostCrossingNs(cfg),
+	}
+	for c := 0; c < controllers; c++ {
+		p.CtrlShard = append(p.CtrlShard, c%ctrlShards)
+	}
+	for i := 0; i < hosts; i++ {
+		p.HostShard = append(p.HostShard, ctrlShards+i%hostShards)
+	}
+	return p, nil
+}
+
+// AssignShards labels every host domain of an assembled cluster with its
+// execution shard per the plan: cluster host 0 (device + manager) gets
+// the first controller shard, client host i gets the plan's host shard.
+// This is the integration point for running the full data path sharded —
+// the label tells scenario wiring which shard kernel a domain's processes
+// belong on. Domains left at shard 0 use the single-shard fallback.
+func (c *Cluster) AssignShards(plan ShardPlan) {
+	for i, h := range c.Hosts {
+		if i == 0 {
+			h.Dom.SetShard(plan.CtrlShard[0])
+		} else {
+			h.Dom.SetShard(plan.HostShard[(i-1)%len(plan.HostShard)])
+		}
+	}
+}

@@ -1,0 +1,558 @@
+// Sharded fleet-scale scenario: N client hosts × M controllers executing
+// on the parallel kernel (sim.ShardGroup), one shard per host domain
+// group and per controller pool, synchronized with the fabric's minimum
+// crossing latency as conservative lookahead.
+//
+// The scenario models the paper's distributed-driver data path at the
+// event level — host submission pipeline, doorbell over the NTB fabric,
+// controller SQE fetch (a non-posted read back into host memory), flash
+// medium service under bounded channel parallelism, DMA of the payload,
+// CQE post plus interrupt back across the fabric — with every latency
+// constant derived from the same pcie/ntb/nvme calibration the
+// full-data-path scenarios use. Cross-shard interactions are exactly the
+// transactions that cross domains in the real topology (doorbells one
+// way, completions the other); everything else is shard-local. Results
+// are byte-identical at every GOMAXPROCS and with parallelism disabled —
+// the determinism contract the golden traces and CI byte-comparisons
+// rely on — which RunShardedScale verifies cheaply via a run digest.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// ShardScaleConfig parameterizes the sharded scaling scenario.
+type ShardScaleConfig struct {
+	// Hosts is the number of client hosts (default 16).
+	Hosts int
+	// HostShards is the number of execution shards hosts fold onto
+	// (default min(Hosts, 8)).
+	HostShards int
+	// Controllers sizes the controller pool; host i targets controller
+	// i mod Controllers (default 4, the multi-controller direction of
+	// the fleet-scale roadmap).
+	Controllers int
+	// CtrlShards is the number of shards controllers fold onto
+	// (default one per controller).
+	CtrlShards int
+	// QueueDepth is per-host outstanding commands (default 8).
+	QueueDepth int
+	// IOsPerHost is each host's measured I/O budget (default 400).
+	IOsPerHost int
+	// BlocksPerIO is the transfer size in 512 B blocks (default 8 = 4 KiB).
+	BlocksPerIO int
+	// HostStages is the host-side submission pipeline depth — block
+	// layer, bounce-buffer copy, SQE build — each one event (default 6).
+	HostStages int
+	// HostComputeNs is total host-side CPU work per I/O spread over the
+	// stages (default 1800 ns).
+	HostComputeNs int64
+	// Seed drives the per-command latency jitter streams (default 7).
+	Seed int64
+	// Parallel executes shards on worker goroutines; results are
+	// identical either way (default true in RunShardedScale callers that
+	// measure scaling; the zero value here means sequential).
+	Parallel bool
+	// Cluster is the fabric cost model the lookahead and crossing costs
+	// derive from; NVMe is the controller/flash calibration.
+	Cluster Config
+	NVMe    NVMeConfig
+}
+
+func (cfg ShardScaleConfig) withDefaults() ShardScaleConfig {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 16
+	}
+	if cfg.HostShards <= 0 || cfg.HostShards > cfg.Hosts {
+		cfg.HostShards = cfg.Hosts
+		if cfg.HostShards > 8 {
+			cfg.HostShards = 8
+		}
+	}
+	if cfg.Controllers == 0 {
+		cfg.Controllers = 4
+	}
+	if cfg.CtrlShards <= 0 || cfg.CtrlShards > cfg.Controllers {
+		cfg.CtrlShards = cfg.Controllers
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.IOsPerHost == 0 {
+		cfg.IOsPerHost = 400
+	}
+	if cfg.BlocksPerIO == 0 {
+		cfg.BlocksPerIO = 8
+	}
+	if cfg.HostStages == 0 {
+		cfg.HostStages = 6
+	}
+	if cfg.HostComputeNs == 0 {
+		cfg.HostComputeNs = 1800
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	return cfg
+}
+
+// ShardScaleHost is one host's outcome.
+type ShardScaleHost struct {
+	Host     int    `json:"host"`
+	Shard    int    `json:"shard"`
+	Ctrl     int    `json:"ctrl"`
+	IOs      int    `json:"ios"`
+	AvgLatNs int64  `json:"avg_lat_ns"`
+	MinLatNs int64  `json:"min_lat_ns"`
+	MaxLatNs int64  `json:"max_lat_ns"`
+	Digest   uint64 `json:"digest"`
+}
+
+// ShardScaleResult is a RunShardedScale outcome. Every field is pure
+// virtual-time state: two runs of the same config produce identical
+// results (and Digest) at any GOMAXPROCS, parallel or sequential.
+type ShardScaleResult struct {
+	Hosts       int              `json:"hosts"`
+	Controllers int              `json:"controllers"`
+	Shards      int              `json:"shards"`
+	LookaheadNs int64            `json:"lookahead_ns"`
+	Parallel    bool             `json:"parallel"`
+	TotalIOs    int              `json:"total_ios"`
+	ElapsedNs   int64            `json:"elapsed_ns"`
+	Events      uint64           `json:"events"`
+	Windows     uint64           `json:"windows"`
+	Messages    uint64           `json:"messages"`
+	Digest      uint64           `json:"digest"`
+	PerHost     []ShardScaleHost `json:"per_host"`
+}
+
+// AggIOPS is aggregate virtual-time IOPS.
+func (r *ShardScaleResult) AggIOPS() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.TotalIOs) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// FNV-1a over uint64 words — the deterministic run digest.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// scaleRNG is the per-command deterministic jitter stream (splitmix64).
+type scaleRNG uint64
+
+func (s *scaleRNG) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// scaleLatencies bundles every latency constant of the model, derived
+// once from the pcie/ntb/nvme calibration structs.
+type scaleLatencies struct {
+	crossNs    int64 // one-way host<->controller fabric crossing (= lookahead)
+	stageNs    int64 // one host submission-pipeline stage
+	doorbellNs int64 // MMIO issue cost of the doorbell store
+	fetchNs    int64 // controller SQE fetch: round trip + completer + payload
+	cmdNs      int64 // firmware decode/setup
+	cplNs      int64 // firmware completion path
+	dmaNs      int64 // payload serialization + one-way crossing
+	readBaseNs int64 // flash service base
+	perBlockNs int64
+	jitterNs   int64
+	tailNs     int64
+	tailPpm    uint64 // tail probability in parts per million
+	hostCplNs  int64  // host-side ISR + block-layer completion
+	channels   int    // flash channel parallelism per controller
+}
+
+func deriveLatencies(cfg ShardScaleConfig) scaleLatencies {
+	cc := cfg.Cluster.withDefaults()
+	lp := cc.Link
+	def := pcie.DefaultLinkParams()
+	if lp.PerSwitchNs == 0 {
+		lp.PerSwitchNs = def.PerSwitchNs
+	}
+	if lp.PropNs == 0 {
+		lp.PropNs = def.PropNs
+	}
+	if lp.BytesPerNs == 0 {
+		lp.BytesPerNs = def.BytesPerNs
+	}
+	if lp.CplServiceNs == 0 {
+		lp.CplServiceNs = def.CplServiceNs
+	}
+	if lp.MMIOIssueNs == 0 {
+		lp.MMIOIssueNs = def.MMIOIssueNs
+	}
+	ctrl := cfg.NVMe.Ctrl
+	dctrl := nvme.DefaultParams()
+	if ctrl.CmdOverheadNs == 0 {
+		ctrl.CmdOverheadNs = dctrl.CmdOverheadNs
+	}
+	if ctrl.CplOverheadNs == 0 {
+		ctrl.CplOverheadNs = dctrl.CplOverheadNs
+	}
+	fl := cfg.NVMe.Flash
+	dfl := nvme.DefaultFlashParams()
+	if fl.ReadBaseNs == 0 {
+		fl.ReadBaseNs = dfl.ReadBaseNs
+	}
+	if fl.PerBlockNs == 0 {
+		fl.PerBlockNs = dfl.PerBlockNs
+	}
+	if fl.JitterNs == 0 {
+		fl.JitterNs = dfl.JitterNs
+	}
+	if fl.TailNs == 0 {
+		fl.TailNs = dfl.TailNs
+	}
+	if fl.TailProb == 0 {
+		fl.TailProb = dfl.TailProb
+	}
+	if fl.Channels == 0 {
+		fl.Channels = dfl.Channels
+	}
+	cross := MinHostCrossingNs(cfg.Cluster)
+	payload := int64(cfg.BlocksPerIO) * 512
+	return scaleLatencies{
+		crossNs:    cross,
+		stageNs:    cfg.HostComputeNs / int64(cfg.HostStages),
+		doorbellNs: lp.MMIOIssueNs,
+		fetchNs:    2*cross + lp.CplServiceNs + lp.SerializeNs(64),
+		cmdNs:      ctrl.CmdOverheadNs,
+		cplNs:      ctrl.CplOverheadNs,
+		dmaNs:      lp.SerializeNs(int(payload)) + cross,
+		readBaseNs: fl.ReadBaseNs,
+		perBlockNs: fl.PerBlockNs,
+		jitterNs:   fl.JitterNs,
+		tailNs:     fl.TailNs,
+		tailPpm:    uint64(fl.TailProb * 1e6),
+		hostCplNs:  lp.CplServiceNs + lp.MMIOIssueNs,
+		channels:   fl.Channels,
+	}
+}
+
+// scaleCmdRef identifies one (host, slot) command in flight.
+type scaleCmdRef struct {
+	host *scaleHost
+	slot int
+}
+
+// scaleCtrl is one controller pool member, living on a controller shard.
+// All of its state is owned by that shard's kernel.
+type scaleCtrl struct {
+	id       int
+	sh       *sim.Shard
+	lat      scaleLatencies
+	pending  []scaleCmdRef // FIFO awaiting a flash channel
+	phead    int
+	inflight int
+	// cmds[host slot in this controller's host list] prebound per-stage
+	// callbacks, so the steady state allocates nothing.
+	cmds []*scaleCmd
+	// processed and digest fold the deterministic arrival order of
+	// doorbells into the run digest.
+	processed uint64
+	digest    uint64
+	onDoorbl  sim.Handler
+}
+
+// scaleCmd is the controller-side context of one (host, slot) pair.
+type scaleCmd struct {
+	ctrl       *scaleCtrl
+	ref        scaleCmdRef
+	rng        scaleRNG
+	fetchDone  func()
+	mediumDone func()
+}
+
+// scaleHost is one client host's submission state machine, living on a
+// host shard. All of its state is owned by that shard's kernel.
+type scaleHost struct {
+	id        int
+	sh        *sim.Shard
+	ctrl      *scaleCtrl
+	ctrlShard int
+	lat       scaleLatencies
+	stages    int
+	qd        int
+	remaining int // IOs not yet submitted
+	completed int
+	// slot state: submit time and the per-slot prebound stage drivers.
+	slots  []scaleSlot
+	sumLat int64
+	minLat int64
+	maxLat int64
+	digest uint64
+	onCQE  sim.Handler
+	// blocks is the transfer size; ctrlPos is this host's position in its
+	// controller's host list (command index base = ctrlPos*qd).
+	blocks  int
+	ctrlPos int
+}
+
+type scaleSlot struct {
+	submitNs int64
+	stage    int
+	advance  func() // prebound submission-pipeline driver
+	complete func() // prebound completion-side work
+}
+
+// submitNext starts slot s's next I/O: the staged host-side pipeline,
+// then the doorbell crossing to the controller shard.
+func (h *scaleHost) startSlot(s int) {
+	if h.remaining <= 0 {
+		return
+	}
+	h.remaining--
+	sl := &h.slots[s]
+	sl.submitNs = h.sh.Kernel().Now()
+	sl.stage = 0
+	h.sh.Kernel().After(h.lat.stageNs, sl.advance)
+}
+
+// advanceSlot runs one submission stage; after the last it issues the
+// doorbell MMIO and sends the crossing message to the controller.
+func (h *scaleHost) advanceSlot(s int) {
+	sl := &h.slots[s]
+	sl.stage++
+	if sl.stage < h.stages {
+		h.sh.Kernel().After(h.lat.stageNs, sl.advance)
+		return
+	}
+	h.sh.Send(h.ctrlShard, h.lat.doorbellNs+h.lat.crossNs, h.ctrl.onDoorbl, uint64(h.ctrlPos*h.qd+s), uint64(s))
+}
+
+// onCompletion is the host-side CQE path: ISR + block-layer completion,
+// latency accounting, then slot reuse.
+func (h *scaleHost) onCompletion(s int) {
+	sl := &h.slots[s]
+	now := h.sh.Kernel().Now()
+	lat := now - sl.submitNs
+	h.completed++
+	h.sumLat += lat
+	if h.minLat == 0 || lat < h.minLat {
+		h.minLat = lat
+	}
+	if lat > h.maxLat {
+		h.maxLat = lat
+	}
+	h.digest = fnvMix(h.digest, uint64(h.completed))
+	h.digest = fnvMix(h.digest, uint64(s))
+	h.digest = fnvMix(h.digest, uint64(now))
+	h.digest = fnvMix(h.digest, uint64(lat))
+	h.startSlot(s)
+}
+
+// onDoorbell is the controller-side arrival of a doorbell: account the
+// deterministic arrival order, then fetch the SQE from host memory.
+func (c *scaleCtrl) onDoorbell(t sim.Time, cmdIdx, slot uint64) {
+	cmd := c.cmds[cmdIdx]
+	c.processed++
+	c.digest = fnvMix(c.digest, uint64(cmd.ref.host.id))
+	c.digest = fnvMix(c.digest, slot)
+	c.digest = fnvMix(c.digest, uint64(t))
+	c.sh.Kernel().After(c.lat.fetchNs, cmd.fetchDone)
+}
+
+// enqueue puts a fetched command onto the flash-channel FIFO.
+func (c *scaleCtrl) enqueue(cmd *scaleCmd) {
+	c.pending = append(c.pending, cmd.ref)
+	c.dispatch()
+}
+
+// dispatch starts commands while flash channels are free.
+func (c *scaleCtrl) dispatch() {
+	for c.inflight < c.channelsFree() && c.phead < len(c.pending) {
+		ref := c.pending[c.phead]
+		c.phead++
+		if c.phead == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.phead = 0
+		}
+		c.inflight++
+		cmd := c.cmds[c.cmdIndex(ref)]
+		c.sh.Kernel().After(c.lat.cmdNs+c.mediumNs(cmd), cmd.mediumDone)
+	}
+}
+
+func (c *scaleCtrl) channelsFree() int { return c.lat.channels }
+
+// mediumNs is the deterministic flash service time for one command:
+// base + per-block cost + seeded jitter + occasional tail.
+func (c *scaleCtrl) mediumNs(cmd *scaleCmd) int64 {
+	blocks := int64(cmd.ref.host.blocksPerIO())
+	ns := c.lat.readBaseNs + c.lat.perBlockNs*(blocks-1)
+	r := cmd.rng.next()
+	if c.lat.jitterNs > 0 {
+		ns += int64(r % uint64(c.lat.jitterNs+1))
+	}
+	if c.lat.tailPpm > 0 && (r>>32)%1_000_000 < c.lat.tailPpm {
+		ns += c.lat.tailNs
+	}
+	return ns
+}
+
+// onMediumDone finishes the data phase and posts the CQE back across the
+// fabric to the host's shard.
+func (c *scaleCtrl) onMediumDone(cmd *scaleCmd) {
+	c.inflight--
+	h := cmd.ref.host
+	delay := c.lat.dmaNs + c.lat.cplNs
+	if delay < c.lat.crossNs {
+		delay = c.lat.crossNs
+	}
+	c.sh.Send(h.shardID(), delay, h.onCQE, uint64(cmd.ref.slot), 0)
+	c.dispatch()
+}
+
+func (h *scaleHost) shardID() int     { return h.sh.ID() }
+func (h *scaleHost) blocksPerIO() int { return h.blocks }
+
+// cmdIndex maps a (host, slot) ref to the controller's prebound command
+// table; hosts register in ascending order so index = hostPos*qd + slot.
+func (c *scaleCtrl) cmdIndex(ref scaleCmdRef) uint64 {
+	return uint64(ref.host.ctrlPos*ref.host.qd + ref.slot)
+}
+
+// RunShardedScale executes the sharded fleet-scale scenario and returns
+// its deterministic result.
+func RunShardedScale(cfg ShardScaleConfig) (*ShardScaleResult, error) {
+	cfg = cfg.withDefaults()
+	plan, err := PlanShards(cfg.Hosts, cfg.HostShards, cfg.Controllers, cfg.CtrlShards, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	lat := deriveLatencies(cfg)
+	if lat.crossNs != plan.LookaheadNs {
+		return nil, fmt.Errorf("cluster: crossing %d ns != plan lookahead %d ns", lat.crossNs, plan.LookaheadNs)
+	}
+	g := sim.NewShardGroup(plan.Shards(), sim.GroupOptions{Parallel: cfg.Parallel})
+	// Links: every host shard exchanges doorbells/CQEs with every
+	// controller shard; host shards never talk to each other.
+	for hs := 0; hs < plan.HostShards; hs++ {
+		for cs := 0; cs < plan.CtrlShards; cs++ {
+			g.Link(plan.CtrlShards+hs, cs, plan.LookaheadNs)
+			g.Link(cs, plan.CtrlShards+hs, plan.LookaheadNs)
+		}
+	}
+
+	ctrls := make([]*scaleCtrl, cfg.Controllers)
+	for c := 0; c < cfg.Controllers; c++ {
+		ctrl := &scaleCtrl{
+			id:     c,
+			sh:     g.Shard(plan.CtrlShard[c]),
+			lat:    lat,
+			digest: fnvOffset64,
+		}
+		ctrl.onDoorbl = sim.HandlerFunc(ctrl.onDoorbell)
+		ctrls[c] = ctrl
+	}
+	hosts := make([]*scaleHost, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		ctrl := ctrls[i%cfg.Controllers]
+		h := &scaleHost{
+			id:        i,
+			sh:        g.Shard(plan.HostShard[i]),
+			ctrl:      ctrl,
+			ctrlShard: plan.CtrlShard[ctrl.id],
+			lat:       lat,
+			stages:    cfg.HostStages,
+			qd:        cfg.QueueDepth,
+			remaining: cfg.IOsPerHost,
+			blocks:    cfg.BlocksPerIO,
+			digest:    fnvOffset64,
+			ctrlPos:   len(ctrl.cmds) / cfg.QueueDepth,
+		}
+		h.onCQE = sim.HandlerFunc(func(t sim.Time, slot, _ uint64) {
+			h.sh.Kernel().After(h.lat.hostCplNs, h.slots[slot].complete)
+		})
+		h.slots = make([]scaleSlot, cfg.QueueDepth)
+		for s := 0; s < cfg.QueueDepth; s++ {
+			s := s
+			h.slots[s].advance = func() { h.advanceSlot(s) }
+			h.slots[s].complete = func() { h.onCompletion(s) }
+		}
+		// Controller-side command contexts, prebound per (host, slot).
+		for s := 0; s < cfg.QueueDepth; s++ {
+			cmd := &scaleCmd{
+				ctrl: ctrl,
+				ref:  scaleCmdRef{host: h, slot: s},
+				rng:  scaleRNG(uint64(cfg.Seed)<<32 ^ uint64(i)<<8 ^ uint64(s)),
+			}
+			cmd.fetchDone = func() { ctrl.enqueue(cmd) }
+			cmd.mediumDone = func() { ctrl.onMediumDone(cmd) }
+			ctrl.cmds = append(ctrl.cmds, cmd)
+		}
+		hosts[i] = h
+	}
+	// Kick every host's initial queue-depth worth of slots, staggered by
+	// host so doorbells do not all land on one instant.
+	for _, h := range hosts {
+		h := h
+		h.sh.Kernel().After(sim.Duration(h.id*17), func() {
+			for s := 0; s < h.qd; s++ {
+				h.startSlot(s)
+			}
+		})
+	}
+
+	end := g.RunAll()
+	st := g.Stats()
+	res := &ShardScaleResult{
+		Hosts:       cfg.Hosts,
+		Controllers: cfg.Controllers,
+		Shards:      plan.Shards(),
+		LookaheadNs: plan.LookaheadNs,
+		Parallel:    cfg.Parallel,
+		ElapsedNs:   end,
+		Events:      st.Executed,
+		Windows:     st.Windows + st.LockstepRounds,
+		Messages:    st.MessagesSent,
+	}
+	digest := uint64(fnvOffset64)
+	for _, h := range hosts {
+		if h.completed != cfg.IOsPerHost {
+			g.Shutdown()
+			return nil, fmt.Errorf("cluster: host %d completed %d of %d IOs", h.id, h.completed, cfg.IOsPerHost)
+		}
+		avg := int64(0)
+		if h.completed > 0 {
+			avg = h.sumLat / int64(h.completed)
+		}
+		res.PerHost = append(res.PerHost, ShardScaleHost{
+			Host: h.id, Shard: h.sh.ID(), Ctrl: h.ctrl.id,
+			IOs: h.completed, AvgLatNs: avg, MinLatNs: h.minLat, MaxLatNs: h.maxLat,
+			Digest: h.digest,
+		})
+		res.TotalIOs += h.completed
+		digest = fnvMix(digest, h.digest)
+	}
+	for _, c := range ctrls {
+		digest = fnvMix(digest, c.digest)
+		digest = fnvMix(digest, c.processed)
+	}
+	digest = fnvMix(digest, uint64(end))
+	digest = fnvMix(digest, st.Executed)
+	res.Digest = digest
+	g.Shutdown()
+	return res, nil
+}

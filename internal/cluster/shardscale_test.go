@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func scaleTestConfig(parallel bool) ShardScaleConfig {
+	return ShardScaleConfig{
+		Hosts:      8,
+		HostShards: 4,
+		IOsPerHost: 60,
+		Parallel:   parallel,
+	}
+}
+
+// Parallel and sequential execution must produce identical results —
+// not just matching digests, but the same bytes field for field.
+func TestShardedScaleParallelEqualsSequential(t *testing.T) {
+	seq, err := RunShardedScale(scaleTestConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunShardedScale(scaleTestConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Parallel || seq.Parallel {
+		t.Fatalf("parallel flags: seq=%v par=%v", seq.Parallel, par.Parallel)
+	}
+	seq.Parallel = true // only intentional difference
+	a, _ := json.Marshal(seq)
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Fatalf("parallel run diverged from sequential:\nseq: %s\npar: %s", a, b)
+	}
+}
+
+// The digest must be byte-identical at every GOMAXPROCS.
+func TestShardedScaleDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var ref []byte
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		res, err := RunShardedScale(scaleTestConfig(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, _ := json.Marshal(res)
+		if ref == nil {
+			ref = enc
+			continue
+		}
+		if string(enc) != string(ref) {
+			t.Fatalf("GOMAXPROCS=%d diverged:\nref: %s\ngot: %s", procs, ref, enc)
+		}
+	}
+}
+
+// Sanity on the physics: every host finishes its budget, latency is at
+// least the no-queueing floor, and virtual time moved.
+func TestShardedScaleResultShape(t *testing.T) {
+	cfg := scaleTestConfig(true)
+	res, err := RunShardedScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIOs != cfg.Hosts*cfg.IOsPerHost {
+		t.Fatalf("total IOs = %d, want %d", res.TotalIOs, cfg.Hosts*cfg.IOsPerHost)
+	}
+	if res.Shards != 4+4 {
+		t.Fatalf("shards = %d, want 8", res.Shards)
+	}
+	if res.LookaheadNs != MinHostCrossingNs(Config{}) {
+		t.Fatalf("lookahead = %d, want %d", res.LookaheadNs, MinHostCrossingNs(Config{}))
+	}
+	if res.ElapsedNs <= 0 || res.Events == 0 || res.Messages == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	// Floor: submission pipeline + crossing + fetch + decode + flash base
+	// + completion path. Anything below this means the model lost a stage.
+	floor := int64(1800) + 625 + 8500
+	for _, h := range res.PerHost {
+		if h.IOs != cfg.IOsPerHost {
+			t.Fatalf("host %d: %d IOs", h.Host, h.IOs)
+		}
+		if h.MinLatNs < floor {
+			t.Fatalf("host %d min latency %d below physical floor %d", h.Host, h.MinLatNs, floor)
+		}
+		if h.MaxLatNs < h.MinLatNs || h.AvgLatNs < h.MinLatNs || h.AvgLatNs > h.MaxLatNs {
+			t.Fatalf("host %d latency ordering broken: %+v", h.Host, h)
+		}
+	}
+}
+
+// Hosts fold round-robin onto fewer shards and the run stays
+// deterministic; one host shard plus one controller shard still runs the
+// windowed protocol (2 shards) and must agree with the wide layout's
+// per-host digests being self-consistent across repeats.
+func TestShardedScaleFoldedShards(t *testing.T) {
+	cfg := scaleTestConfig(true)
+	cfg.HostShards = 1
+	cfg.CtrlShards = 1
+	a, err := RunShardedScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardedScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("folded layout not reproducible: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if a.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", a.Shards)
+	}
+	for _, h := range a.PerHost {
+		if h.Shard != 1 {
+			t.Fatalf("host %d on shard %d, want 1", h.Host, h.Shard)
+		}
+	}
+}
+
+func TestPlanShards(t *testing.T) {
+	p, err := PlanShards(16, 4, 4, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 6 || p.HostShards != 4 || p.CtrlShards != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.LookaheadNs != 125+2*125+250 {
+		t.Fatalf("lookahead = %d, want 625", p.LookaheadNs)
+	}
+	for i, s := range p.HostShard {
+		if want := 2 + i%4; s != want {
+			t.Fatalf("host %d -> shard %d, want %d", i, s, want)
+		}
+	}
+	for c, s := range p.CtrlShard {
+		if want := c % 2; s != want {
+			t.Fatalf("ctrl %d -> shard %d, want %d", c, s, want)
+		}
+	}
+	// Oversized shard counts clamp to member counts.
+	p, err = PlanShards(2, 9, 1, 9, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HostShards != 2 || p.CtrlShards != 1 {
+		t.Fatalf("clamped plan = %+v", p)
+	}
+	if _, err := PlanShards(0, 0, 1, 0, Config{}); err == nil {
+		t.Fatal("expected error for 0 hosts")
+	}
+	if _, err := PlanShards(1, 0, 0, 0, Config{}); err == nil {
+		t.Fatal("expected error for 0 controllers")
+	}
+}
+
+func TestAssignShards(t *testing.T) {
+	c, err := New(Config{Hosts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanShards(4, 2, 1, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AssignShards(plan)
+	if got := c.Hosts[0].Dom.Shard(); got != plan.CtrlShard[0] {
+		t.Fatalf("manager host on shard %d, want %d", got, plan.CtrlShard[0])
+	}
+	for i := 1; i < len(c.Hosts); i++ {
+		want := plan.HostShard[(i-1)%len(plan.HostShard)]
+		if got := c.Hosts[i].Dom.Shard(); got != want {
+			t.Fatalf("host %d on shard %d, want %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkShardedScale(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"sequential", false}, {"parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ShardScaleConfig{Hosts: 16, IOsPerHost: 200, Parallel: mode.parallel}
+			var events uint64
+			var elapsed int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunShardedScale(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+				elapsed = res.ElapsedNs
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			_ = elapsed
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Handler consumes a cross-shard message on the destination shard. It runs
+// inline in the destination kernel's loop (like an After callback) and must
+// not block. The two uint64 arguments are free-form payload words — enough
+// for a (queue, entry) pair or an (opcode, tag) pair without forcing the
+// sender to allocate a closure per message.
+type Handler interface {
+	OnMessage(t Time, a, b uint64)
+}
+
+// HandlerFunc adapts a function to the Handler interface. Binding one
+// HandlerFunc per (receiver, kind) at setup time keeps the send path
+// allocation-free; building a fresh closure per send does not.
+type HandlerFunc func(t Time, a, b uint64)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(t Time, a, b uint64) { f(t, a, b) }
+
+// message is one staged cross-shard event. Ordering across sources is the
+// deterministic merge key (time, src shard, per-source seq): two messages
+// arriving at the same destination at the same virtual instant are
+// delivered in (src, seq) order no matter which worker goroutine staged
+// them first in real time.
+type message struct {
+	t   Time   // arrival time on the destination shard's clock
+	src int    // source shard ID
+	seq uint64 // per-source send sequence
+	h   Handler
+	a   uint64
+	b   uint64
+	fn  func() // SendFunc payload; h takes precedence when non-nil
+}
+
+// messageBefore is the (time, shard, seq) merge order.
+func messageBefore(x, y message) bool {
+	if x.t != y.t {
+		return x.t < y.t
+	}
+	if x.src != y.src {
+		return x.src < y.src
+	}
+	return x.seq < y.seq
+}
+
+// mailbox is the bounded staging buffer for one directed (src → dst) shard
+// link. During a window only the source shard's worker appends to it; the
+// coordinator drains it at the barrier. That single-writer/single-reader
+// discipline — enforced by the window protocol, checked by the race
+// detector — is what lets sends stay lock-free.
+type mailbox struct {
+	src, dst  int
+	lookahead Duration // conservative floor: Send delay must be >= this
+	bound     int      // hard cap on staged messages (runaway guard)
+	msgs      []message
+	sent      uint64
+	maxDepth  int
+}
+
+func (mb *mailbox) stage(m message) {
+	if len(mb.msgs) >= mb.bound {
+		panic(fmt.Sprintf(
+			"sim: mailbox %d->%d exceeded bound %d: conservative windows should bound in-flight messages; raise MailboxBound if the topology legitimately needs more",
+			mb.src, mb.dst, mb.bound))
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.sent++
+	if d := len(mb.msgs); d > mb.maxDepth {
+		mb.maxDepth = d
+	}
+}
+
+// inboxMerge appends staged messages into the destination's pending inbox
+// and re-sorts it by (time, shard, seq). The staging slice keeps its
+// backing array, so steady-state windows allocate nothing here.
+func inboxMerge(inbox []message, mb *mailbox) []message {
+	inbox = append(inbox, mb.msgs...)
+	clearMessages(mb.msgs)
+	mb.msgs = mb.msgs[:0]
+	slices.SortFunc(inbox, func(x, y message) int {
+		if messageBefore(x, y) {
+			return -1
+		}
+		if messageBefore(y, x) {
+			return 1
+		}
+		return 0
+	})
+	return inbox
+}
+
+func clearMessages(ms []message) {
+	for i := range ms {
+		ms[i] = message{}
+	}
+}

@@ -1,0 +1,460 @@
+// Sharded parallel execution of the deterministic kernel.
+//
+// A ShardGroup partitions a simulation into per-domain shards, each with
+// its own Kernel (heap, pool, clock, processes), and executes them with a
+// barrier-synchronous conservative protocol: in every window all shards
+// may run events in [T, T+L) concurrently, where T is the global minimum
+// pending-event time and L is the lookahead — the minimum virtual latency
+// of any cross-shard interaction (an NTB hop plus wire delay, or the
+// NVMe-oF/RDMA equivalent). Because no message can arrive sooner than L
+// after it is sent, an event inside the window can never be invalidated
+// by a message still in flight; this is the classic conservative
+// (Chandy–Misra–Bryant style) safety argument, here with a global barrier
+// instead of per-link null messages.
+//
+// Determinism is the load-bearing invariant. It holds because
+//
+//  1. shards share no mutable state — each kernel's execution between
+//     barriers is exactly the sequential kernel, which is deterministic;
+//  2. the window schedule (the sequence of T and horizon values) is a
+//     pure function of virtual state, never of wall-clock interleaving;
+//  3. cross-shard messages are merged at the barrier in (arrival time,
+//     source shard, per-source sequence) order, regardless of which
+//     worker staged them first in real time.
+//
+// Hence results are byte-identical at every GOMAXPROCS, and identical to
+// running the same group with Parallel disabled (the workers and the
+// sequential loop execute the same windows over the same disjoint state).
+// A group with a single shard, or with zero lookahead, degrades to
+// sequential execution — it never deadlocks and pays no barrier cost
+// beyond the loop itself.
+package sim
+
+import "fmt"
+
+// DefaultMailboxBound caps staged messages per directed shard link. The
+// conservative window protocol naturally bounds in-flight messages to the
+// events of one window, so hitting this means a runaway send loop.
+const DefaultMailboxBound = 1 << 16
+
+// GroupOptions configures a ShardGroup.
+type GroupOptions struct {
+	// Parallel runs each window's shards on worker goroutines. Whatever
+	// this is set to, results are identical; it only changes which cores
+	// do the work. Groups with one shard or zero lookahead execute
+	// sequentially regardless (see GroupStats.DegradedSequential).
+	Parallel bool
+	// MailboxBound overrides DefaultMailboxBound when > 0.
+	MailboxBound int
+}
+
+// Shard is one partition of a sharded simulation: an independent Kernel
+// plus the mailboxes linking it to its neighbors. Simulation state owned
+// by a shard must only be touched by code running on that shard's kernel;
+// cross-shard effects go through Send/SendFunc.
+type Shard struct {
+	id    int
+	g     *ShardGroup
+	k     *Kernel
+	start chan Time // worker dispatch: horizon to run to
+
+	msgSeq uint64 // per-source send sequence (merge tiebreak)
+
+	// inbox holds inbound messages not yet delivered, sorted by
+	// (time, src, seq). armed is the earliest time a delivery item is
+	// scheduled for in the kernel (MaxTime when none); stale delivery
+	// items fire harmlessly.
+	inbox     []message
+	armed     Time
+	deliver   func() // prebound delivery callback (one alloc at setup)
+	delivered uint64
+	stale     uint64
+}
+
+// ID returns the shard's index within its group.
+func (sh *Shard) ID() int { return sh.id }
+
+// Kernel returns the shard's private kernel.
+func (sh *Shard) Kernel() *Kernel { return sh.k }
+
+// ShardGroup executes a set of shards under the conservative window
+// protocol. Create with NewShardGroup, declare links, build per-shard
+// state on each shard's kernel, then Run.
+type ShardGroup struct {
+	shards    []*Shard
+	links     map[[2]int]*mailbox
+	lookahead Duration // min over declared links; MaxTime with no links
+	parallel  bool
+	bound     int
+
+	started bool          // workers launched
+	done    chan struct{} // worker completion signals
+
+	windows  uint64
+	lockstep uint64
+	running  bool
+	shutdown bool
+}
+
+// NewShardGroup creates a group of n independent shards (n >= 1).
+func NewShardGroup(n int, opt GroupOptions) *ShardGroup {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: shard group needs at least 1 shard, got %d", n))
+	}
+	bound := opt.MailboxBound
+	if bound <= 0 {
+		bound = DefaultMailboxBound
+	}
+	g := &ShardGroup{
+		links:     make(map[[2]int]*mailbox),
+		lookahead: MaxTime,
+		parallel:  opt.Parallel,
+		bound:     bound,
+		done:      make(chan struct{}, n),
+	}
+	for i := 0; i < n; i++ {
+		sh := &Shard{id: i, g: g, k: NewKernel(), armed: MaxTime}
+		sh.deliver = sh.deliverNow
+		sh.start = make(chan Time)
+		g.shards = append(g.shards, sh)
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Link declares the directed channel src → dst with conservative minimum
+// latency minDelay: every Send on this link must carry delay >= minDelay,
+// and the group's lookahead (window length) is the minimum over all
+// declared links. Declaring a link twice keeps the smaller minimum.
+// minDelay zero is allowed — shards sharing a local domain have no
+// crossing latency — but forces the whole group into sequential lockstep.
+func (g *ShardGroup) Link(src, dst int, minDelay Duration) {
+	if g.running {
+		panic("sim: Link during Run")
+	}
+	if src == dst {
+		panic(fmt.Sprintf("sim: self-link on shard %d", src))
+	}
+	g.checkShard(src)
+	g.checkShard(dst)
+	if minDelay < 0 {
+		minDelay = 0
+	}
+	key := [2]int{src, dst}
+	if mb, ok := g.links[key]; ok {
+		if minDelay < mb.lookahead {
+			mb.lookahead = minDelay
+		}
+	} else {
+		g.links[key] = &mailbox{src: src, dst: dst, lookahead: minDelay, bound: g.bound}
+	}
+	if minDelay < g.lookahead {
+		g.lookahead = minDelay
+	}
+}
+
+// LinkAll declares links in both directions between every pair of shards
+// with the same conservative minimum latency — the common "every domain
+// can reach every domain through the fabric" topology.
+func (g *ShardGroup) LinkAll(minDelay Duration) {
+	for i := range g.shards {
+		for j := range g.shards {
+			if i != j {
+				g.Link(i, j, minDelay)
+			}
+		}
+	}
+}
+
+// Lookahead returns the group's conservative window length: the minimum
+// declared link latency, or MaxTime when no links exist.
+func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
+
+func (g *ShardGroup) checkShard(i int) {
+	if i < 0 || i >= len(g.shards) {
+		panic(fmt.Sprintf("sim: no shard %d in group of %d", i, len(g.shards)))
+	}
+}
+
+// Send stages a cross-shard message: h.OnMessage(t, a, b) runs on shard
+// dst's kernel at the sender's current time plus delay. It must be called
+// from code executing on sh's kernel, and delay must be at least the
+// link's declared minimum — the conservative contract that makes the
+// window protocol safe. Sends on one link are delivered in send order;
+// across links, arrival order is (time, src shard, seq).
+//
+// The send path allocates nothing in the steady state: messages are
+// staged into a reused per-link buffer and delivered through a prebound
+// callback, never a per-message closure.
+func (sh *Shard) Send(dst int, delay Duration, h Handler, a, b uint64) {
+	sh.send(dst, delay, message{h: h, a: a, b: b})
+}
+
+// SendFunc is Send with a closure payload, for setup paths and tests
+// where the per-message allocation does not matter.
+func (sh *Shard) SendFunc(dst int, delay Duration, fn func()) {
+	sh.send(dst, delay, message{fn: fn})
+}
+
+func (sh *Shard) send(dst int, delay Duration, m message) {
+	mb, ok := sh.g.links[[2]int{sh.id, dst}]
+	if !ok {
+		panic(fmt.Sprintf("sim: send on undeclared link %d->%d", sh.id, dst))
+	}
+	if delay < mb.lookahead {
+		panic(fmt.Sprintf(
+			"sim: send %d->%d with delay %d below link minimum %d breaks the conservative lookahead contract",
+			sh.id, dst, delay, mb.lookahead))
+	}
+	sh.msgSeq++
+	m.t = sh.k.now + delay
+	m.src = sh.id
+	m.seq = sh.msgSeq
+	mb.stage(m)
+}
+
+// deliverNow runs as a kernel item on the shard: it dispatches every
+// pending inbound message due exactly now, in (src, seq) order, then
+// re-arms for the next distinct arrival time. A stale firing (all
+// messages already delivered by an earlier, lower-time item) is a no-op.
+func (sh *Shard) deliverNow() {
+	now := sh.k.now
+	n := 0
+	for n < len(sh.inbox) && sh.inbox[n].t <= now {
+		n++
+	}
+	if n == 0 {
+		sh.stale++
+	}
+	for i := 0; i < n; i++ {
+		m := sh.inbox[i]
+		sh.delivered++
+		if m.h != nil {
+			m.h.OnMessage(m.t, m.a, m.b)
+		} else if m.fn != nil {
+			m.fn()
+		}
+	}
+	if n > 0 {
+		rest := copy(sh.inbox, sh.inbox[n:])
+		clearMessages(sh.inbox[rest:])
+		sh.inbox = sh.inbox[:rest]
+	}
+	sh.armed = MaxTime
+	sh.arm()
+}
+
+// arm schedules the delivery item for the earliest pending arrival, if
+// one is not already armed at or before it.
+func (sh *Shard) arm() {
+	if len(sh.inbox) == 0 {
+		return
+	}
+	if t := sh.inbox[0].t; t < sh.armed {
+		sh.k.At(t, sh.deliver)
+		sh.armed = t
+	}
+}
+
+// mergeInto drains every mailbox targeting dst into its inbox and arms
+// delivery. Runs on the coordinator between windows.
+func (g *ShardGroup) mergeInto(dst *Shard) {
+	merged := false
+	for _, mb := range g.links {
+		if mb.dst == dst.id && len(mb.msgs) > 0 {
+			dst.inbox = inboxMerge(dst.inbox, mb)
+			merged = true
+		}
+	}
+	if merged {
+		dst.arm()
+	}
+}
+
+// mergeFrom drains src's outgoing mailboxes into their destinations —
+// the immediate-delivery variant the zero-lookahead lockstep path uses so
+// same-timestamp messages reach shards later in the round.
+func (g *ShardGroup) mergeFrom(src *Shard) {
+	for _, mb := range g.links {
+		if mb.src == src.id && len(mb.msgs) > 0 {
+			dst := g.shards[mb.dst]
+			dst.inbox = inboxMerge(dst.inbox, mb)
+			dst.arm()
+		}
+	}
+}
+
+// parallelActive reports whether windows actually fan out to workers. A
+// group with no links at all (lookahead MaxTime) needs no synchronization
+// and parallelizes in one window; zero lookahead forces lockstep.
+func (g *ShardGroup) parallelActive() bool {
+	return g.parallel && len(g.shards) > 1 && g.lookahead > 0
+}
+
+// Run executes the group until no work remains or the clock would pass
+// limit, and returns the latest shard clock. The schedule — and therefore
+// every simulation result — is identical whether windows execute on
+// worker goroutines or sequentially in shard order.
+func (g *ShardGroup) Run(limit Time) Time {
+	if g.shutdown {
+		panic("sim: Run after Shutdown")
+	}
+	g.running = true
+	defer func() { g.running = false }()
+	parallel := g.parallelActive()
+	if parallel && !g.started {
+		g.started = true
+		for _, sh := range g.shards {
+			go g.worker(sh)
+		}
+	}
+	for {
+		t := MaxTime
+		for _, sh := range g.shards {
+			if pt := sh.k.PeekTime(); pt < t {
+				t = pt
+			}
+		}
+		if t == MaxTime {
+			break
+		}
+		if t > limit {
+			// Mirror Kernel.Run: advance idle clocks to the limit.
+			for _, sh := range g.shards {
+				sh.k.Run(limit)
+			}
+			break
+		}
+		if g.lookahead == 0 {
+			// Zero-lookahead degradation: lockstep rounds at exactly t,
+			// shards in ID order, messages delivered between shards so a
+			// same-timestamp send reaches later shards within the round.
+			for _, sh := range g.shards {
+				sh.k.Run(t)
+				g.mergeFrom(sh)
+			}
+			g.lockstep++
+			continue
+		}
+		horizon := limit
+		if g.lookahead != MaxTime && t <= MaxTime-g.lookahead && t+g.lookahead-1 < limit {
+			horizon = t + g.lookahead - 1
+		}
+		if parallel {
+			n := 0
+			for _, sh := range g.shards {
+				if sh.k.PeekTime() <= horizon {
+					sh.start <- horizon
+					n++
+				}
+			}
+			for i := 0; i < n; i++ {
+				<-g.done
+			}
+		} else {
+			for _, sh := range g.shards {
+				if sh.k.PeekTime() <= horizon {
+					sh.k.Run(horizon)
+				}
+			}
+		}
+		for _, sh := range g.shards {
+			g.mergeInto(sh)
+		}
+		g.windows++
+	}
+	var end Time
+	for _, sh := range g.shards {
+		if n := sh.k.Now(); n > end {
+			end = n
+		}
+	}
+	return end
+}
+
+// RunAll runs until no scheduled work remains in any shard.
+func (g *ShardGroup) RunAll() Time { return g.Run(MaxTime) }
+
+func (g *ShardGroup) worker(sh *Shard) {
+	for horizon := range sh.start {
+		sh.k.Run(horizon)
+		g.done <- struct{}{}
+	}
+}
+
+// Shutdown stops the workers and unwinds every shard kernel's remaining
+// processes. The group cannot run again afterwards.
+func (g *ShardGroup) Shutdown() {
+	if g.shutdown {
+		return
+	}
+	g.shutdown = true
+	if g.started {
+		for _, sh := range g.shards {
+			close(sh.start)
+		}
+	}
+	for _, sh := range g.shards {
+		sh.k.Shutdown()
+	}
+}
+
+// GroupStats aggregates scheduler-work counters across the group.
+type GroupStats struct {
+	// Windows is the number of parallel-capable execution windows;
+	// LockstepRounds counts zero-lookahead sequential rounds.
+	Windows        uint64
+	LockstepRounds uint64
+	// Executed sums Kernel.Executed over shards; Kernel aggregates the
+	// per-shard scheduler counters.
+	Executed uint64
+	Kernel   KernelStats
+	// MessagesSent/Delivered count cross-shard messages; StaleDeliveries
+	// counts delivery items that fired after a lower-time item already
+	// drained their messages (harmless, bounded by inbox churn).
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	StaleDeliveries   uint64
+	// MaxMailboxDepth is the deepest any link's staging buffer got —
+	// the observed bound the conservative windows impose.
+	MaxMailboxDepth int
+	// Lookahead echoes the group's window length; DegradedSequential
+	// reports that Parallel was requested but the topology (one shard or
+	// zero lookahead) forces sequential execution.
+	Lookahead          Duration
+	DegradedSequential bool
+}
+
+// Stats returns the group's aggregated counters.
+func (g *ShardGroup) Stats() GroupStats {
+	st := GroupStats{
+		Windows:            g.windows,
+		LockstepRounds:     g.lockstep,
+		Lookahead:          g.lookahead,
+		DegradedSequential: g.parallel && !g.parallelActive(),
+	}
+	for _, sh := range g.shards {
+		ks := sh.k.Stats()
+		st.Executed += ks.Executed
+		st.Kernel.Executed += ks.Executed
+		st.Kernel.Scheduled += ks.Scheduled
+		st.Kernel.RunQueued += ks.RunQueued
+		st.Kernel.PoolMisses += ks.PoolMisses
+		st.Kernel.InlineSleeps += ks.InlineSleeps
+		st.Kernel.Ticks += ks.Ticks
+		st.MessagesDelivered += sh.delivered
+		st.StaleDeliveries += sh.stale
+	}
+	for _, mb := range g.links {
+		st.MessagesSent += mb.sent
+		if mb.maxDepth > st.MaxMailboxDepth {
+			st.MaxMailboxDepth = mb.maxDepth
+		}
+	}
+	return st
+}

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// splitmix64 is the test workload's deterministic RNG.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shardNode is a per-shard actor for determinism tests: it burns local
+// events, occasionally messages a pseudo-random neighbor, and logs every
+// step it takes as (virtual time, step counter).
+type shardNode struct {
+	sh        *Shard
+	all       []*shardNode // by shard ID; a send's handler is the receiver's node
+	peers     []int
+	rng       splitmix64
+	lookahead Duration
+	steps     int
+	budget    int
+	log       []int64
+}
+
+func (n *shardNode) OnMessage(t Time, a, b uint64) {
+	n.log = append(n.log, int64(t), int64(a), int64(b))
+	n.step()
+}
+
+func (n *shardNode) step() {
+	if n.steps >= n.budget {
+		return
+	}
+	n.steps++
+	k := n.sh.Kernel()
+	n.log = append(n.log, int64(k.Now()), int64(n.steps))
+	r := n.rng.next()
+	if len(n.peers) > 0 && r%4 == 0 {
+		dst := n.peers[int(r>>8)%len(n.peers)]
+		delay := n.lookahead + Duration((r>>16)%1000)
+		n.sh.Send(dst, delay, n.all[dst], uint64(n.sh.ID()), uint64(n.steps))
+	}
+	k.After(Duration(50+r%500), n.step)
+}
+
+// runShardWorkload builds an all-to-all group of nShards nodes and runs
+// it to completion, returning a digest of every node's full log.
+func runShardWorkload(t *testing.T, nShards int, lookahead Duration, parallel bool) uint64 {
+	t.Helper()
+	g := NewShardGroup(nShards, GroupOptions{Parallel: parallel})
+	g.LinkAll(lookahead)
+	nodes := make([]*shardNode, nShards)
+	for i := 0; i < nShards; i++ {
+		var peers []int
+		for j := 0; j < nShards; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		nodes[i] = &shardNode{
+			sh: g.Shard(i), all: nodes, peers: peers, rng: splitmix64(1000 + i),
+			lookahead: lookahead, budget: 300,
+		}
+		g.Shard(i).Kernel().After(Duration(i*10), nodes[i].step)
+	}
+	g.RunAll()
+	g.Shutdown()
+	h := fnv.New64a()
+	for _, n := range nodes {
+		for _, v := range n.log {
+			var buf [8]byte
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(v >> (8 * b))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// TestShardGroupDeterministicAcrossModes pins the core invariant: the
+// parallel windows and the sequential loop produce identical results.
+func TestShardGroupDeterministicAcrossModes(t *testing.T) {
+	seq := runShardWorkload(t, 4, 500, false)
+	par := runShardWorkload(t, 4, 500, true)
+	if seq != par {
+		t.Fatalf("parallel run diverged from sequential: %#x != %#x", par, seq)
+	}
+}
+
+// TestShardGroupDeterministicAcrossGOMAXPROCS runs the same parallel
+// workload at 1, 2, 4 and 8 cores and demands identical digests.
+func TestShardGroupDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var want uint64
+	for i, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := runShardWorkload(t, 6, 350, true)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("GOMAXPROCS=%d digest %#x != GOMAXPROCS=1 digest %#x", procs, got, want)
+		}
+	}
+}
+
+// orderRecorder logs (time, a, b) triples of delivered messages.
+type orderRecorder struct {
+	got [][3]int64
+}
+
+func (r *orderRecorder) OnMessage(t Time, a, b uint64) {
+	r.got = append(r.got, [3]int64{int64(t), int64(a), int64(b)})
+}
+
+// TestShardMergeSameTimestamp checks the (time, shard, seq) merge: three
+// sources deliver messages at the same virtual instant; the destination
+// must see them in source-shard order, and within a source in send order,
+// no matter that the staging happened on different workers.
+func TestShardMergeSameTimestamp(t *testing.T) {
+	g := NewShardGroup(4, GroupOptions{Parallel: true})
+	const L = 100
+	g.Link(1, 0, L)
+	g.Link(2, 0, L)
+	g.Link(3, 0, L)
+	// Sources cannot message each other: their windows still line up via
+	// the group's global lookahead.
+	rec := &orderRecorder{}
+	for src := 1; src <= 3; src++ {
+		src := src
+		sh := g.Shard(src)
+		// Source 3 schedules its sends before source 1; merge order must
+		// come from shard IDs, not scheduling order or worker timing.
+		sh.Kernel().After(Duration(10), func() {
+			sh.Send(0, L, rec, uint64(src), 1)
+			sh.Send(0, L, rec, uint64(src), 2)
+		})
+	}
+	g.RunAll()
+	g.Shutdown()
+	want := [][3]int64{
+		{10 + L, 1, 1}, {10 + L, 1, 2},
+		{10 + L, 2, 1}, {10 + L, 2, 2},
+		{10 + L, 3, 1}, {10 + L, 3, 2},
+	}
+	if len(rec.got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d: %v", len(rec.got), len(want), rec.got)
+	}
+	for i := range want {
+		if rec.got[i] != want[i] {
+			t.Fatalf("message %d = %v, want %v (full order %v)", i, rec.got[i], want[i], rec.got)
+		}
+	}
+}
+
+// TestShardZeroLookaheadDegradesSequential: a shared-local topology (zero
+// crossing latency) must run in lockstep rounds — terminating, ordered,
+// not deadlocked — and report the degradation in stats.
+func TestShardZeroLookaheadDegradesSequential(t *testing.T) {
+	g := NewShardGroup(2, GroupOptions{Parallel: true})
+	g.Link(0, 1, 0)
+	g.Link(1, 0, 0)
+	const rounds = 50
+	var deliveries []struct {
+		at    Time
+		count uint64
+	}
+	var hs [2]Handler
+	for i := 0; i < 2; i++ {
+		self := i
+		other := 1 - i
+		hs[i] = HandlerFunc(func(tm Time, count, _ uint64) {
+			deliveries = append(deliveries, struct {
+				at    Time
+				count uint64
+			}{tm, count})
+			if count < rounds {
+				g.Shard(self).Send(other, 0, hs[other], count+1, 0)
+			}
+		})
+	}
+	sh0 := g.Shard(0)
+	sh0.Kernel().After(0, func() { sh0.Send(1, 0, hs[1], 1, 0) })
+	end := g.RunAll()
+	st := g.Stats()
+	g.Shutdown()
+	if end != 0 {
+		t.Fatalf("zero-delay ping-pong should finish at t=0, ended at %d", end)
+	}
+	if len(deliveries) != rounds {
+		t.Fatalf("delivered %d bounces, want %d", len(deliveries), rounds)
+	}
+	for i, d := range deliveries {
+		if d.at != 0 || d.count != uint64(i+1) {
+			t.Fatalf("bounce %d = t=%d count=%d, want t=0 count=%d", i, d.at, d.count, i+1)
+		}
+	}
+	if st.LockstepRounds == 0 {
+		t.Fatal("zero-lookahead group reported no lockstep rounds")
+	}
+	if st.Windows != 0 {
+		t.Fatalf("zero-lookahead group ran %d parallel windows, want 0", st.Windows)
+	}
+	if !st.DegradedSequential {
+		t.Fatal("stats should report DegradedSequential for a parallel request on a zero-lookahead topology")
+	}
+}
+
+// TestShardConservativeContract: sends below the declared link minimum,
+// and sends on undeclared links, are programming errors and must panic.
+func TestShardConservativeContract(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewShardGroup(2, GroupOptions{})
+	g.Link(0, 1, 200)
+	sh := g.Shard(0)
+	expectPanic("below-minimum delay", func() { sh.Send(1, 199, HandlerFunc(func(Time, uint64, uint64) {}), 0, 0) })
+	expectPanic("undeclared link", func() { g.Shard(1).Send(0, 500, HandlerFunc(func(Time, uint64, uint64) {}), 0, 0) })
+	expectPanic("self link", func() { g.Link(0, 0, 100) })
+	expectPanic("bad shard", func() { g.Link(0, 7, 100) })
+}
+
+// TestShardMailboxBound: exceeding the staging bound panics rather than
+// growing without limit.
+func TestShardMailboxBound(t *testing.T) {
+	g := NewShardGroup(2, GroupOptions{MailboxBound: 8})
+	g.Link(0, 1, 10)
+	sh := g.Shard(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected mailbox bound panic")
+		}
+	}()
+	sh.Kernel().After(0, func() {
+		for i := 0; i < 9; i++ {
+			sh.Send(1, 10, HandlerFunc(func(Time, uint64, uint64) {}), 0, 0)
+		}
+	})
+	g.RunAll()
+}
+
+// TestShardRunLimit: Run(limit) stops at the limit and advances every
+// shard clock to it, mirroring Kernel.Run semantics.
+func TestShardRunLimit(t *testing.T) {
+	g := NewShardGroup(2, GroupOptions{Parallel: true})
+	g.LinkAll(100)
+	var fired [2]int // per-shard: event state is shard-local by contract
+	for i := 0; i < 2; i++ {
+		i := i
+		k := g.Shard(i).Kernel()
+		k.After(5_000, func() { fired[i]++ })
+	}
+	if end := g.Run(1_000); end != 1_000 {
+		t.Fatalf("Run(1000) returned %d", end)
+	}
+	if fired[0]+fired[1] != 0 {
+		t.Fatalf("events beyond the limit ran: %v", fired)
+	}
+	for i := 0; i < 2; i++ {
+		if now := g.Shard(i).Kernel().Now(); now != 1_000 {
+			t.Fatalf("shard %d clock %d, want 1000", i, now)
+		}
+	}
+	if end := g.RunAll(); end != 5_000 {
+		t.Fatalf("RunAll returned %d, want 5000", end)
+	}
+	if fired[0] != 1 || fired[1] != 1 {
+		t.Fatalf("fired %v, want one each", fired)
+	}
+	g.Shutdown()
+}
+
+// TestShardProcsAcrossWindows: full coroutine processes (Spawn/Sleep)
+// work on shard kernels, with sleeps spanning many windows.
+func TestShardProcsAcrossWindows(t *testing.T) {
+	g := NewShardGroup(3, GroupOptions{Parallel: true})
+	g.LinkAll(250)
+	totals := make([]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		k := g.Shard(i).Kernel()
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 40; j++ {
+				p.Sleep(Duration(100 + 37*i))
+			}
+			totals[i] = p.Now()
+		})
+	}
+	g.RunAll()
+	g.Shutdown()
+	for i := 0; i < 3; i++ {
+		want := Time(40 * (100 + 37*i))
+		if totals[i] != want {
+			t.Fatalf("shard %d proc finished at %d, want %d", i, totals[i], want)
+		}
+	}
+}
+
+// TestShardSendZeroAlloc: the steady-state send+deliver path must not
+// allocate — pooled kernel items, reused staging buffers, prebound
+// handlers.
+func TestShardSendZeroAlloc(t *testing.T) {
+	g := NewShardGroup(2, GroupOptions{})
+	const L = 100
+	g.LinkAll(L)
+	var h [2]Handler
+	for i := 0; i < 2; i++ {
+		self := i
+		other := 1 - i
+		h[i] = HandlerFunc(func(tm Time, count, _ uint64) {
+			if count > 0 {
+				g.Shard(self).Send(other, L, h[other], count-1, 0)
+			}
+		})
+	}
+	sh := g.Shard(0)
+	kick := func() { sh.Send(1, L, h[1], 64, 0) }
+	warm := func() {
+		sh.Kernel().After(0, kick)
+		g.RunAll()
+	}
+	warm() // grow pools, staging buffers, inbox capacity
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs > 0.5 {
+		t.Fatalf("steady-state sharded send/deliver allocated %.1f allocs/run, want 0", allocs)
+	}
+	g.Shutdown()
+}
+
+// BenchmarkShardGroup measures sharded kernel throughput: events/sec
+// over an all-to-all messaging workload. Compare -cpu 1,2,4,8.
+func BenchmarkShardGroup(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				g := NewShardGroup(shards, GroupOptions{Parallel: true})
+				if shards > 1 {
+					g.LinkAll(500)
+				}
+				nodes := make([]*shardNode, shards)
+				for s := 0; s < shards; s++ {
+					nodes[s] = &shardNode{
+						sh: g.Shard(s), all: nodes, rng: splitmix64(s),
+						lookahead: 500, budget: 2000,
+					}
+					for p := 0; p < shards; p++ {
+						if p != s {
+							nodes[s].peers = append(nodes[s].peers, p)
+						}
+					}
+					g.Shard(s).Kernel().After(0, nodes[s].step)
+				}
+				g.RunAll()
+				events += g.Stats().Executed
+				g.Shutdown()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
