@@ -11,6 +11,7 @@
 //	sweep -telemetry out.json [-hosts N] [-qd D] [-ios N] [-interval NS]
 //	sweep -faults [-seed N] [-hosts N] [-qd D] [-ios N] [-out FAULTS_sim.json]
 //	sweep -serve 127.0.0.1:9120 [-linger] [-telemetry out.json]
+//	sweep -bottleneck [-op read|write] [-qd D] [-ios N] [-out report.txt]
 //
 // The -wallclock mode measures the simulator itself (not the simulated
 // system): kernel events dispatched per real second and real nanoseconds
@@ -22,7 +23,17 @@
 // any GOMAXPROCS, which CI compares across core counts.
 //
 // -cpuprofile and -memprofile write pprof profiles of whichever mode
-// ran, for digging into simulator hot paths.
+// ran, for digging into simulator hot paths; -blockprofile and
+// -mutexprofile enable and write the contention profiles, the pair that
+// actually explains parallel-kernel scaling plateaus.
+//
+// The -bottleneck mode runs every scenario traced, folds each IO's
+// causal hops into per-resource blamed nanoseconds (service vs
+// queueing, reconciling exactly with end-to-end latency), merges the
+// measured occupancy utilizations, and prints one ranked bottleneck
+// table per scenario. The report contains only virtual-time facts: the
+// same invocation is byte-identical at any GOMAXPROCS, which CI
+// verifies.
 //
 // The -trace mode runs one scenario with per-IO tracing on and writes a
 // Chrome trace-event JSON file (loadable at ui.perfetto.dev), plus a
@@ -48,6 +59,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/attr"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fio"
@@ -77,6 +89,9 @@ func main() {
 		digest    = flag.String("digest", "", "with -wallclock, also write a deterministic virtual-time digest file to this path (byte-identical at any GOMAXPROCS)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+		blockprof = flag.String("blockprofile", "", "enable blocking profiling (rate 1) and write the pprof block profile at exit to this path")
+		mutexprof = flag.String("mutexprofile", "", "enable mutex profiling (fraction 1) and write the pprof mutex profile at exit to this path")
+		bottleck  = flag.Bool("bottleneck", false, "run every scenario traced and print ranked per-resource bottleneck attribution (deterministic; -out writes the report text)")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -106,12 +121,26 @@ func main() {
 			f.Close()
 		}()
 	}
+	if *blockprof != "" {
+		runtime.SetBlockProfileRate(1)
+		path := *blockprof
+		defer func() { writeProfile("block", path) }()
+	}
+	if *mutexprof != "" {
+		runtime.SetMutexProfileFraction(1)
+		path := *mutexprof
+		defer func() { writeProfile("mutex", path) }()
+	}
 	fop := fio.RandRead
 	if *op == "write" {
 		fop = fio.RandWrite
 	}
 	if *traceOut != "" {
 		runTrace(*scenario, fop, *op, *qd, *ios, *traceOut)
+		return
+	}
+	if *bottleck {
+		runBottleneck(fop, *op, *qd, *ios, *out)
 		return
 	}
 	if *faults {
@@ -224,7 +253,9 @@ func runTrace(scenario string, op fio.Op, opName string, qd, ios int, out string
 	if err != nil {
 		fatal(err)
 	}
-	if err := trace.WriteChrome(f, spans, meta); err != nil {
+	// Counter tracks (per-queue and controller inflight) render as
+	// Perfetto counter lanes alongside the span rows.
+	if err := trace.WriteChromeWith(f, spans, meta, attr.CounterTracks(spans)); err != nil {
 		f.Close()
 		fatal(err)
 	}
@@ -292,9 +323,11 @@ type scalingRun struct {
 // meaning. v3: per-stage p50/p95/p999 in breakdowns, labeled metric
 // rows, telemetry sampling-interval config echo. v4: per-run "cores",
 // top-level "cpus_online", and the "scaling" curve over the sharded
-// parallel kernel; top-level "gomaxprocs" is deprecated (see
-// wallclockReport.GoMaxProcs) and will be dropped next schema bump.
-const benchSchemaVersion = 4
+// parallel kernel. v5: the deprecated top-level "gomaxprocs" (ambient
+// GOMAXPROCS, superseded by per-run "cores") is removed, and each
+// breakdown carries its ranked "bottlenecks" rows and "top_bottleneck"
+// from the attribution engine.
+const benchSchemaVersion = 5
 
 // sweepConfig echoes the scenario configuration a report was produced
 // with, so a BENCH_sim.json is self-describing.
@@ -319,18 +352,15 @@ type scenarioBreakdown struct {
 	QueueDepth int                 `json:"queue_depth"`
 	Breakdown  trace.Breakdown     `json:"breakdown"`
 	Metrics    []trace.MetricValue `json:"metrics"`
+	// TopBottleneck and Bottlenecks are the ranked per-resource blame
+	// attribution of the same traced run (v5).
+	TopBottleneck string     `json:"top_bottleneck"`
+	Bottlenecks   []attr.Row `json:"bottlenecks"`
 }
 
 type wallclockReport struct {
 	SchemaVersion int   `json:"schema_version"`
 	GeneratedUnix int64 `json:"generated_unix"`
-	// GoMaxProcs is the ambient GOMAXPROCS the sweep started under.
-	//
-	// Deprecated: superseded in v4 by the per-run "cores" field (runs and
-	// scaling points execute under different GOMAXPROCS within one
-	// sweep). Kept for one schema release so existing consumers keep
-	// parsing; will be removed at v5.
-	GoMaxProcs int `json:"gomaxprocs"`
 	// CPUsOnline is runtime.NumCPU() — the physical parallelism actually
 	// available. Scaling curves flatten when cores exceed this.
 	CPUsOnline int                 `json:"cpus_online"`
@@ -360,7 +390,6 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out, digestOu
 	rep := wallclockReport{
 		SchemaVersion: benchSchemaVersion,
 		GeneratedUnix: time.Now().Unix(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		CPUsOnline:    runtime.NumCPU(),
 		Config: sweepConfig{
 			Op: opName, IOs: ios, QueueDepths: []int{1, 8},
@@ -511,12 +540,18 @@ func digestText(rep *wallclockReport) string {
 		sum, e2e := bd.Breakdown.ReconcileNs()
 		fmt.Fprintf(&b, "breakdown %s qd=%d stage_sum_ns=%d e2e_ns=%d\n",
 			bd.Scenario, bd.QueueDepth, sum, e2e)
+		fmt.Fprintf(&b, "bottleneck %s qd=%d top=%s", bd.Scenario, bd.QueueDepth, bd.TopBottleneck)
+		for _, row := range bd.Bottlenecks {
+			fmt.Fprintf(&b, " %s=%.1f", row.Resource, row.BlamedNsIO)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	return b.String()
 }
 
 // tracedBreakdown runs scenario s once with tracing and a wired metrics
-// registry, returning its stage decomposition and metrics snapshot.
+// registry, returning its stage decomposition, metrics snapshot and
+// ranked bottleneck attribution.
 func tracedBreakdown(s cluster.Scenario, op fio.Op, qd, ios int) (scenarioBreakdown, error) {
 	tr := trace.New()
 	reg := trace.NewRegistry()
@@ -524,25 +559,56 @@ func tracedBreakdown(s cluster.Scenario, op fio.Op, qd, ios int) (scenarioBreakd
 		Name: "breakdown", Op: op, QueueDepth: qd,
 		MaxIOs: ios, WarmupIOs: 0, RangeBlocks: 1 << 16, Seed: 7,
 	}
+	var utils map[string]float64
 	err := cluster.RunWorkload(s, cluster.ScenarioConfig{Tracer: tr}, func(p *sim.Proc, env *cluster.Env) error {
 		env.WireMetrics(reg)
-		_, err := fio.Run(p, env.Queue, spec)
-		return err
+		uw := env.StartUtilWindow()
+		if _, err := fio.Run(p, env.Queue, spec); err != nil {
+			return err
+		}
+		utils = env.ResourceUtils(uw)
+		return nil
 	})
 	if err != nil {
 		return scenarioBreakdown{}, err
 	}
+	bs := attr.NewBlameSet()
+	bs.AddSpans(tr.Spans())
+	if bs.ResidualNs != 0 {
+		return scenarioBreakdown{}, fmt.Errorf("%s: blame residual %d ns != 0", s, bs.ResidualNs)
+	}
+	rep := attr.BuildReport(string(s), bs, utils)
 	return scenarioBreakdown{
-		Scenario:   string(s),
-		QueueDepth: qd,
-		Breakdown:  trace.ComputeBreakdown(tr.Spans()),
-		Metrics:    reg.Snapshot(),
+		Scenario:      string(s),
+		QueueDepth:    qd,
+		Breakdown:     trace.ComputeBreakdown(tr.Spans()),
+		Metrics:       reg.Snapshot(),
+		TopBottleneck: rep.Top(),
+		Bottlenecks:   rep.Rows,
 	}, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
+}
+
+// writeProfile dumps one runtime/pprof named profile (block, mutex) to
+// path at exit.
+func writeProfile(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		fatal(fmt.Errorf("no %s profile", name))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	f.Close()
 }
 
 // sweepQD: queue depth vs IOPS and median latency, local vs remote vs

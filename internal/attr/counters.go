@@ -1,0 +1,94 @@
+package attr
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// CounterTracks derives Chrome-trace counter ("C") tracks from a span
+// population: per-queue commands in flight (device-window occupancy,
+// rendered on the queue's process track) and controller commands in
+// flight (earliest fetch to CQE post, on a synthetic controller
+// track). Perfetto draws them as stacked area charts above the span
+// rows, which is exactly the occupancy view the blame engine accounts.
+func CounterTracks(spans []*trace.Span) []trace.CounterTrack {
+	type edge struct {
+		ts    int64
+		delta int64
+	}
+	queueEdges := map[uint16][]edge{}
+	var ctrlEdges []edge
+
+	for _, s := range spans {
+		var devStart, devEnd int64 = -1, -1
+		var fetchStart, postEnd int64 = -1, -1
+		for _, h := range s.Hops {
+			switch h.Stage {
+			case trace.StageDevice:
+				devStart, devEnd = h.Start, h.End
+			case trace.StageCtrlFetch:
+				if fetchStart < 0 || h.Start < fetchStart {
+					fetchStart = h.Start
+				}
+			case trace.StageCQPost:
+				if h.End > postEnd {
+					postEnd = h.End
+				}
+			}
+		}
+		if devStart >= 0 && devEnd > devStart {
+			queueEdges[s.QID] = append(queueEdges[s.QID],
+				edge{devStart, 1}, edge{devEnd, -1})
+		}
+		if fetchStart >= 0 && postEnd > fetchStart {
+			ctrlEdges = append(ctrlEdges,
+				edge{fetchStart, 1}, edge{postEnd, -1})
+		}
+	}
+
+	sweep := func(edges []edge) []trace.CounterPoint {
+		// Decrements first at equal timestamps so a back-to-back
+		// exit/enter at the same instant doesn't overshoot the level.
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].ts != edges[j].ts {
+				return edges[i].ts < edges[j].ts
+			}
+			return edges[i].delta < edges[j].delta
+		})
+		var pts []trace.CounterPoint
+		var level int64
+		for i, e := range edges {
+			level += e.delta
+			if i+1 < len(edges) && edges[i+1].ts == e.ts {
+				continue
+			}
+			pts = append(pts, trace.CounterPoint{TSNs: e.ts, Value: float64(level)})
+		}
+		return pts
+	}
+
+	var tracks []trace.CounterTrack
+	qids := make([]int, 0, len(queueEdges))
+	for q := range queueEdges {
+		qids = append(qids, int(q))
+	}
+	sort.Ints(qids)
+	for _, q := range qids {
+		tracks = append(tracks, trace.CounterTrack{
+			Name:   "inflight",
+			PID:    q,
+			Series: "cmds",
+			Points: sweep(queueEdges[uint16(q)]),
+		})
+	}
+	if len(ctrlEdges) > 0 {
+		tracks = append(tracks, trace.CounterTrack{
+			Name:   "ctrl_inflight",
+			PID:    0,
+			Series: "cmds",
+			Points: sweep(ctrlEdges),
+		})
+	}
+	return tracks
+}

@@ -1,0 +1,109 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one ranked entry of a bottleneck report: a resource, its
+// measured utilization (busy fraction of elapsed time; negative when
+// no occupancy instrument covers it), its blamed nanoseconds per IO
+// split into service and queueing, and the queueing share of its
+// blame.
+type Row struct {
+	Resource    string  `json:"resource"`
+	Utilization float64 `json:"utilization,omitempty"`
+	HasUtil     bool    `json:"has_util"`
+	BlamedNsIO  float64 `json:"blamed_ns_per_io"`
+	ServiceNsIO float64 `json:"service_ns_per_io"`
+	QueueNsIO   float64 `json:"queue_ns_per_io"`
+	QueueShare  float64 `json:"queue_share"`
+}
+
+// Report is the ranked bottleneck attribution of one scenario.
+type Report struct {
+	Scenario   string `json:"scenario"`
+	Spans      int    `json:"spans"`
+	EndToEndNs int64  `json:"end_to_end_ns"`
+	ResidualNs int64  `json:"residual_ns"`
+	Rows       []Row  `json:"rows"`
+}
+
+// BuildReport ranks a BlameSet into a Report, merging measured
+// utilizations (busy fraction over the run, keyed by resource name;
+// resources without an instrument print "-"). Rows are ordered by
+// blamed ns/IO descending, ties by name — fully determined by
+// virtual-time facts. A measured resource that attracted no blame
+// still gets a zero-blame row (sorted after the blamed ones, by name):
+// a resource can saturate without appearing on any completed IO's
+// critical path — a CQ pinned full by a flow-control stall blames only
+// the commands it timed out, which leave no span.
+func BuildReport(scenario string, bs *BlameSet, utils map[string]float64) Report {
+	r := Report{
+		Scenario:   scenario,
+		Spans:      bs.Spans,
+		EndToEndNs: bs.EndToEndNs,
+		ResidualNs: bs.ResidualNs,
+	}
+	n := float64(bs.Spans)
+	if n == 0 {
+		n = 1
+	}
+	blamed := make(map[string]bool)
+	for _, b := range bs.Rows() {
+		blamed[b.Resource] = true
+		row := Row{
+			Resource:    b.Resource,
+			BlamedNsIO:  float64(b.TotalNs()) / n,
+			ServiceNsIO: float64(b.ServiceNs) / n,
+			QueueNsIO:   float64(b.QueueNs) / n,
+			QueueShare:  b.QueueShare(),
+		}
+		if u, ok := utils[b.Resource]; ok {
+			row.Utilization = u
+			row.HasUtil = true
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	var rest []string
+	for name := range utils {
+		if !blamed[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		r.Rows = append(r.Rows, Row{Resource: name, Utilization: utils[name], HasUtil: true})
+	}
+	return r
+}
+
+// Top returns the highest-blame resource name, or "" for an empty
+// report.
+func (r Report) Top() string {
+	if len(r.Rows) == 0 {
+		return ""
+	}
+	return r.Rows[0].Resource
+}
+
+// Table renders the report as fixed-width text. Only virtual-time
+// quantities appear and floats use fixed formats, so the output is
+// byte-identical across runs, GOMAXPROCS values and host machines.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bottleneck report — %s (%d spans, end-to-end %d ns, residual %d ns)\n",
+		r.Scenario, r.Spans, r.EndToEndNs, r.ResidualNs)
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %14s %8s\n",
+		"resource", "util", "blamed ns/IO", "svc ns/IO", "queue ns/IO", "q-share")
+	for _, row := range r.Rows {
+		util := "-"
+		if row.HasUtil {
+			util = fmt.Sprintf("%7.4f", row.Utilization)
+		}
+		fmt.Fprintf(&b, "%-14s %8s %14.1f %14.1f %14.1f %8.4f\n",
+			row.Resource, util, row.BlamedNsIO, row.ServiceNsIO, row.QueueNsIO, row.QueueShare)
+	}
+	return b.String()
+}

@@ -38,7 +38,7 @@ type FaultRunConfig struct {
 
 	// ManagerRestart, when > 0, takes the manager down for that many ns
 	// at ManagerRestartAtNs (relative to client start).
-	ManagerRestart   int64
+	ManagerRestart     int64
 	ManagerRestartAtNs int64
 
 	// Noise adds seed-derived fabric faults (link stalls, dropped

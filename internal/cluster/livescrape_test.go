@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestLiveEndpointsDuringFaultRun hammers the live introspection
+// endpoints from concurrent scrapers while a full fault-injection
+// scenario (host crash + queue reclamation) runs, then checks the
+// post-run content. The endpoints serve only the pipeline's sampled
+// state under its lock, so this must be clean under -race and every
+// response must be well-formed: 200 for the data endpoints, 503 from
+// /healthz only before the first sample lands.
+func TestLiveEndpointsDuringFaultRun(t *testing.T) {
+	reg := trace.NewRegistry()
+	pipe := telemetry.NewPipeline(reg, telemetry.Config{IntervalNs: 25_000})
+	srv := httptest.NewServer(telemetry.NewHandler(pipe))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz before run = %d, want 503", code)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, _ := get("/metrics"); code != http.StatusOK {
+					t.Errorf("/metrics = %d mid-run, want 200", code)
+				}
+				if code, _ := get("/telemetry.json"); code != http.StatusOK {
+					t.Errorf("/telemetry.json = %d mid-run, want 200", code)
+				}
+				if code, _ := get("/healthz"); code != http.StatusOK && code != http.StatusServiceUnavailable {
+					t.Errorf("/healthz = %d mid-run, want 200 or 503", code)
+				}
+				atomic.AddInt64(&scrapes, 1)
+			}
+		}()
+	}
+
+	res, err := RunFaultScenario(FaultRunConfig{Seed: 7, Registry: reg, Pipeline: pipe})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunFaultScenario: %v", err)
+	}
+	if res.Fault.HostCrashes != 1 {
+		t.Fatalf("host crashes = %d, want 1", res.Fault.HostCrashes)
+	}
+	if atomic.LoadInt64(&scrapes) == 0 {
+		t.Error("scrapers made no complete passes during the run")
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz after run = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+	if _, body := get("/metrics"); !strings.Contains(body, "fault_host_crashes") {
+		t.Error("/metrics after run missing fault_host_crashes")
+	}
+	if _, body := get("/telemetry.json"); !strings.Contains(body, "fault.host_crashes") {
+		t.Error("/telemetry.json after run missing fault.host_crashes")
+	}
+}

@@ -26,6 +26,9 @@ import (
 //	core.client.*{host}  distributed-driver client counters
 //	nvmeof.*{host}       fabrics target/initiator counters
 //	host.*{host}         fairness inputs (ios_completed, latency)
+//	attr.*               resource-occupancy accounting (internal/attr
+//	                     instruments: levels, busy time, residence)
+//	sim.shard.*          parallel shard-kernel window protocol
 
 // WireKernelMetrics registers the simulation kernel's own accounting.
 func WireKernelMetrics(reg *trace.Registry, k *sim.Kernel) {
@@ -52,6 +55,12 @@ func WireHostMetrics(reg *trace.Registry, h *Host) {
 	reg.GaugeFunc("ntb.translations", func() float64 { return float64(ad.Translations) }, host)
 	reg.GaugeFunc("ntb.windows_programmed", func() float64 { return float64(ad.Programmed) }, host)
 	reg.GaugeFunc("ntb.windows_live", func() float64 { return float64(ad.Windows()) }, host)
+	k := dom.Kernel()
+	reg.GaugeFunc("attr.link.tlps", func() float64 { return float64(dom.Link().Count) }, host)
+	reg.GaugeFunc("attr.link.bytes", func() float64 { return float64(dom.Link().Bytes) }, host)
+	reg.GaugeFunc("attr.link.busy_ns", func() float64 { return float64(dom.Link().TotalNs) }, host)
+	reg.GaugeFunc("attr.ntb.windows_level", func() float64 { return float64(ad.WinOcc.Level()) }, host)
+	reg.GaugeFunc("attr.ntb.windows_busy_ns", func() float64 { return float64(ad.WinOcc.BusyAsOf(int64(k.Now()))) }, host)
 }
 
 // WireControllerMetrics registers the shared controller's aggregate
@@ -67,6 +76,12 @@ func WireControllerMetrics(reg *trace.Registry, ctrl *nvme.Controller) {
 	reg.GaugeFunc("nvme.ctrl.interrupts", func() float64 { return float64(ctrl.Stats.Interrupts) })
 	reg.GaugeFunc("nvme.ctrl.sq_doorbell_writes", func() float64 { return float64(ctrl.Stats.SQDoorbellWrites) })
 	reg.GaugeFunc("nvme.ctrl.cq_doorbell_writes", func() float64 { return float64(ctrl.Stats.CQDoorbellWrites) })
+	k := ctrl.Domain().Kernel()
+	reg.GaugeFunc("attr.ctrl.busy_ns", func() float64 { return float64(ctrl.BusyOcc.BusyAsOf(int64(k.Now()))) })
+	reg.GaugeFunc("attr.ctrl.inflight", func() float64 { return float64(ctrl.BusyOcc.Level()) })
+	reg.GaugeFunc("attr.ctrl.max_inflight", func() float64 { return float64(ctrl.BusyOcc.MaxLevel()) })
+	reg.GaugeFunc("attr.ctrl.admin_busy_ns", func() float64 { return float64(ctrl.AdminOcc.BusyAsOf(int64(k.Now()))) })
+	reg.GaugeFunc("attr.ctrl.admin_svcs", func() float64 { return float64(ctrl.AdminOcc.Departures) })
 }
 
 // WireControllerQueueMetrics registers the controller-side counters of
@@ -78,6 +93,13 @@ func WireControllerQueueMetrics(reg *trace.Registry, ctrl *nvme.Controller, qid 
 	reg.GaugeFunc("nvme.queue.write_cmds", func() float64 { return float64(ctrl.QueueStats(qid).WriteCmds) }, labels...)
 	reg.GaugeFunc("nvme.queue.completions", func() float64 { return float64(ctrl.QueueStats(qid).Completions) }, labels...)
 	reg.GaugeFunc("nvme.queue.sq_doorbells", func() float64 { return float64(ctrl.QueueStats(qid).SQDoorbells) }, labels...)
+	k := ctrl.Domain().Kernel()
+	reg.GaugeFunc("attr.queue.sq_level", func() float64 { return float64(ctrl.QueueStats(qid).SQOcc.Level()) }, labels...)
+	reg.GaugeFunc("attr.queue.sq_max_level", func() float64 { return float64(ctrl.QueueStats(qid).SQOcc.MaxLevel()) }, labels...)
+	reg.GaugeFunc("attr.queue.sq_busy_ns", func() float64 { return float64(ctrl.QueueStats(qid).SQOcc.BusyAsOf(int64(k.Now()))) }, labels...)
+	reg.GaugeFunc("attr.queue.sq_integral_ns", func() float64 { return float64(ctrl.QueueStats(qid).SQOcc.IntegralAsOf(int64(k.Now()))) }, labels...)
+	reg.GaugeFunc("attr.queue.sq_residence_ns", func() float64 { return float64(ctrl.QueueStats(qid).SQOcc.ResidenceNs()) }, labels...)
+	reg.GaugeFunc("attr.queue.cq_busy_ns", func() float64 { return float64(ctrl.QueueStats(qid).CQOcc.BusyAsOf(int64(k.Now()))) }, labels...)
 }
 
 // WireClientMetrics registers one distributed-driver client's counters
@@ -96,8 +118,30 @@ func WireClientMetrics(reg *trace.Registry, cl *core.Client, host int) {
 	reg.GaugeFunc("core.client.cq_doorbells", func() float64 { return float64(qv.CQDoorbells) }, hl)
 	reg.GaugeFunc("core.client.cq_rings_saved", func() float64 { return float64(qv.CQRingsSaved) }, hl)
 	reg.GaugeFunc("core.client.inflight", func() float64 { return float64(qv.Inflight()) }, hl)
+	reg.GaugeFunc("attr.client.slots_level", func() float64 { return float64(cl.SlotOcc.Level()) }, hl)
+	reg.GaugeFunc("attr.client.slots_max_level", func() float64 { return float64(cl.SlotOcc.MaxLevel()) }, hl)
+	k := cl.Kernel()
+	reg.GaugeFunc("attr.client.slots_busy_ns", func() float64 { return float64(cl.SlotOcc.BusyAsOf(int64(k.Now()))) }, hl)
 	reg.GaugeFunc("host.ios_completed", func() float64 { return float64(cl.Reads + cl.Writes + cl.Flushes) }, hl)
 	cl.SetLatencyHist(reg.Histogram("host.latency", hl).Hist())
+}
+
+// WireShardGroupMetrics registers the parallel shard kernel's window
+// protocol counters (unlabeled: one group per simulation). Wire after
+// the group has run — gauge callbacks aggregate across shards and must
+// not race a parallel window in flight.
+func WireShardGroupMetrics(reg *trace.Registry, g *sim.ShardGroup) {
+	reg.GaugeFunc("sim.shard.windows", func() float64 { return float64(g.Stats().Windows) })
+	reg.GaugeFunc("sim.shard.lockstep_rounds", func() float64 { return float64(g.Stats().LockstepRounds) })
+	reg.GaugeFunc("sim.shard.messages_sent", func() float64 { return float64(g.Stats().MessagesSent) })
+	reg.GaugeFunc("sim.shard.messages_delivered", func() float64 { return float64(g.Stats().MessagesDelivered) })
+	reg.GaugeFunc("sim.shard.stale_deliveries", func() float64 { return float64(g.Stats().StaleDeliveries) })
+	reg.GaugeFunc("sim.shard.max_mailbox_depth", func() float64 { return float64(g.Stats().MaxMailboxDepth) })
+	reg.GaugeFunc("sim.shard.participations", func() float64 { return float64(g.Stats().Participations) })
+	reg.GaugeFunc("sim.shard.barrier_stalls", func() float64 { return float64(g.Stats().StallWindows) })
+	reg.GaugeFunc("sim.shard.barrier_stall_ns", func() float64 { return float64(g.Stats().StallNs) })
+	reg.GaugeFunc("sim.shard.lookahead_ns", func() float64 { return float64(g.Stats().Lookahead) })
+	reg.GaugeFunc("sim.shard.lookahead_utilization", func() float64 { return g.Stats().LookaheadUtilization() })
 }
 
 // WireHostDriverMetrics registers the stock driver's per-queue counters

@@ -57,6 +57,11 @@ type MultiHostConfig struct {
 	// the run (sampling Registry on virtual time) and flushed with a
 	// final sample after the run drains.
 	Pipeline *telemetry.Pipeline
+	// Tracer, when non-nil, is threaded through the controller and every
+	// client so each I/O leaves a per-hop span (clients own distinct
+	// queue pairs, so spans never collide). Traced runs must leave
+	// virtual-time results unchanged.
+	Tracer *trace.Tracer
 }
 
 func (cfg MultiHostConfig) withDefaults() MultiHostConfig {
@@ -98,6 +103,9 @@ type MultiHostResult struct {
 	TotalIOs int
 	// Fairness is the full-window report (nil without a Pipeline).
 	Fairness *telemetry.FairnessReport
+	// Utils maps attribution resource names to measured busy-fraction
+	// utilization over the run (see resourceUtils).
+	Utils map[string]float64
 }
 
 // AggIOPS is the aggregate virtual-time IOPS across all hosts.
@@ -143,6 +151,10 @@ func RunMultiHost(cfg MultiHostConfig) (*MultiHostResult, error) {
 	ctrl, err := c.AttachNVMe(0, cfg.NVMe)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Tracer != nil {
+		ctrl.SetTracer(cfg.Tracer)
+		cfg.Client.Tracer = cfg.Tracer
 	}
 	svc := smartio.NewService(c.Dir)
 	dev, err := svc.Register(0, "nvme0", pcie.Range{Base: NVMeBARBase, Size: NVMeBARSize})
@@ -250,5 +262,6 @@ func RunMultiHost(cfg MultiHostConfig) (*MultiHostResult, error) {
 			res.TotalIOs += hr.Res.IOs + hr.Res.Errors
 		}
 	}
+	res.Utils = resourceUtils(ctrl, c.Hosts, int64(c.K.Now()))
 	return res, nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/nvme"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ShardScaleConfig parameterizes the sharded scaling scenario.
@@ -61,6 +62,10 @@ type ShardScaleConfig struct {
 	// derive from; NVMe is the controller/flash calibration.
 	Cluster Config
 	NVMe    NVMeConfig
+	// Registry, when non-nil, receives the shard group's sim.shard.*
+	// window-protocol metrics (wired after the run completes, so gauge
+	// reads never race a parallel window).
+	Registry *trace.Registry
 }
 
 func (cfg ShardScaleConfig) withDefaults() ShardScaleConfig {
@@ -517,6 +522,9 @@ func RunShardedScale(cfg ShardScaleConfig) (*ShardScaleResult, error) {
 
 	end := g.RunAll()
 	st := g.Stats()
+	if cfg.Registry != nil {
+		WireShardGroupMetrics(cfg.Registry, g)
+	}
 	res := &ShardScaleResult{
 		Hosts:       cfg.Hosts,
 		Controllers: cfg.Controllers,

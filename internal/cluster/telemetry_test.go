@@ -31,6 +31,11 @@ var wireMetricsGoldenNames = []string{
 	`ntb.translations{host="0"}`,
 	`ntb.windows_programmed{host="0"}`,
 	`ntb.windows_live{host="0"}`,
+	`attr.link.tlps{host="0"}`,
+	`attr.link.bytes{host="0"}`,
+	`attr.link.busy_ns{host="0"}`,
+	`attr.ntb.windows_level{host="0"}`,
+	`attr.ntb.windows_busy_ns{host="0"}`,
 	`pcie.posted_writes{host="1"}`,
 	`pcie.mmio_writes{host="1"}`,
 	`pcie.reads{host="1"}`,
@@ -40,6 +45,11 @@ var wireMetricsGoldenNames = []string{
 	`ntb.translations{host="1"}`,
 	`ntb.windows_programmed{host="1"}`,
 	`ntb.windows_live{host="1"}`,
+	`attr.link.tlps{host="1"}`,
+	`attr.link.bytes{host="1"}`,
+	`attr.link.busy_ns{host="1"}`,
+	`attr.ntb.windows_level{host="1"}`,
+	`attr.ntb.windows_busy_ns{host="1"}`,
 	"nvme.ctrl.read_cmds",
 	"nvme.ctrl.write_cmds",
 	"nvme.ctrl.flush_cmds",
@@ -50,11 +60,22 @@ var wireMetricsGoldenNames = []string{
 	"nvme.ctrl.interrupts",
 	"nvme.ctrl.sq_doorbell_writes",
 	"nvme.ctrl.cq_doorbell_writes",
+	"attr.ctrl.busy_ns",
+	"attr.ctrl.inflight",
+	"attr.ctrl.max_inflight",
+	"attr.ctrl.admin_busy_ns",
+	"attr.ctrl.admin_svcs",
 	`nvme.queue.fetched{host="1",qid="1"}`,
 	`nvme.queue.read_cmds{host="1",qid="1"}`,
 	`nvme.queue.write_cmds{host="1",qid="1"}`,
 	`nvme.queue.completions{host="1",qid="1"}`,
 	`nvme.queue.sq_doorbells{host="1",qid="1"}`,
+	`attr.queue.sq_level{host="1",qid="1"}`,
+	`attr.queue.sq_max_level{host="1",qid="1"}`,
+	`attr.queue.sq_busy_ns{host="1",qid="1"}`,
+	`attr.queue.sq_integral_ns{host="1",qid="1"}`,
+	`attr.queue.sq_residence_ns{host="1",qid="1"}`,
+	`attr.queue.cq_busy_ns{host="1",qid="1"}`,
 	`core.client.reads{host="1"}`,
 	`core.client.writes{host="1"}`,
 	`core.client.polls{host="1"}`,
@@ -64,6 +85,9 @@ var wireMetricsGoldenNames = []string{
 	`core.client.cq_doorbells{host="1"}`,
 	`core.client.cq_rings_saved{host="1"}`,
 	`core.client.inflight{host="1"}`,
+	`attr.client.slots_level{host="1"}`,
+	`attr.client.slots_max_level{host="1"}`,
+	`attr.client.slots_busy_ns{host="1"}`,
 	`host.ios_completed{host="1"}`,
 	`host.latency{host="1"}`,
 }
@@ -71,13 +95,25 @@ var wireMetricsGoldenNames = []string{
 // mayBeZero lists gauges legitimately zero after an ours-remote RandRW
 // polling run: no pipeline is attached (ticks), fio issues no flushes,
 // nothing errors, completion is by polling (no interrupts), and all
-// I/Os have drained (inflight).
+// I/Os have drained (inflight and the attr.* end-of-run levels). The
+// attr.queue.sq_* time accumulators are zero because the uncontended
+// arbitration loop claims each SQE in the same virtual instant its
+// doorbell lands — SQ residency only becomes nonzero when the
+// controller's inflight cap or round-robin actually delays a claim.
 var mayBeZero = map[string]bool{
-	"sim.ticks":                      true,
-	"nvme.ctrl.flush_cmds":           true,
-	"nvme.ctrl.error_cmds":           true,
-	"nvme.ctrl.interrupts":           true,
-	`core.client.inflight{host="1"}`: true,
+	"sim.ticks":                                    true,
+	"nvme.ctrl.flush_cmds":                         true,
+	"nvme.ctrl.error_cmds":                         true,
+	"nvme.ctrl.interrupts":                         true,
+	"attr.ctrl.inflight":                           true,
+	`core.client.inflight{host="1"}`:               true,
+	`attr.ntb.windows_level{host="0"}`:             true,
+	`attr.ntb.windows_level{host="1"}`:             true,
+	`attr.queue.sq_level{host="1",qid="1"}`:        true,
+	`attr.queue.sq_busy_ns{host="1",qid="1"}`:      true,
+	`attr.queue.sq_integral_ns{host="1",qid="1"}`:  true,
+	`attr.queue.sq_residence_ns{host="1",qid="1"}`: true,
+	`attr.client.slots_level{host="1"}`:            true,
 }
 
 // TestWireMetricsCoverage: after a multihost-capable scenario run,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/iommu"
 	"repro/internal/ntb"
 	"repro/internal/nvme"
@@ -225,6 +226,11 @@ type Client struct {
 	LateCompletions uint64
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
+	// SlotOcc accounts bounce-partition occupancy: slots enter when
+	// acquired for an I/O and exit on release (including quarantine
+	// drains), so its busy time is the client's data-staging pressure
+	// and its max level the peak concurrent slot usage.
+	SlotOcc attr.Occ
 	// latHist, when set, receives each completed I/O's end-to-end
 	// latency in virtual nanoseconds (see SetLatencyHist).
 	latHist *stats.PowHistogram
@@ -532,6 +538,7 @@ func (c *Client) acquireSlot(p *sim.Proc) int {
 	for i, used := range c.slots {
 		if !used {
 			c.slots[i] = true
+			c.SlotOcc.Enter(p.Now())
 			return i
 		}
 	}
@@ -540,8 +547,12 @@ func (c *Client) acquireSlot(p *sim.Proc) int {
 
 func (c *Client) releaseSlot(slot int) {
 	c.slots[slot] = false
+	c.SlotOcc.Exit(c.node.Host().Domain().Kernel().Now())
 	c.slotFree.Release()
 }
+
+// Kernel returns the simulation kernel the client's host runs on.
+func (c *Client) Kernel() *sim.Kernel { return c.node.Host().Domain().Kernel() }
 
 // Name implements block.Device.
 func (c *Client) Name() string { return c.name }

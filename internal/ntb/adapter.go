@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/attr"
 	"repro/internal/pcie"
 )
 
@@ -31,6 +32,11 @@ type ClusterAdapter struct {
 	// stall penalty.
 	LinkFaults    uint64
 	SlowCrossings uint64
+	// WinOcc accounts LUT windows in use on the virtual clock: windows
+	// enter at Map and exit at Unmap, so busy time is the adapter's
+	// window-occupied time and the max level its peak LUT pressure
+	// against MaxWindows.
+	WinOcc attr.Occ
 
 	local *pcie.Domain
 	node  pcie.NodeID
@@ -121,6 +127,7 @@ func (a *ClusterAdapter) Map(off, size uint64, remote *pcie.Domain, entry pcie.N
 	a.wins = append(a.wins, clusterWindow{off: off, size: size, remote: remote, entry: entry, rbase: raddr})
 	sort.Slice(a.wins, func(i, j int) bool { return a.wins[i].off < a.wins[j].off })
 	a.Programmed++
+	a.WinOcc.Enter(a.local.Kernel().Now())
 	return a.bar.Base + off, nil
 }
 
@@ -138,6 +145,7 @@ func (a *ClusterAdapter) Unmap(off uint64) error {
 	for i, w := range a.wins {
 		if w.off == off {
 			a.wins = append(a.wins[:i], a.wins[i+1:]...)
+			a.WinOcc.Exit(a.local.Kernel().Now())
 			return nil
 		}
 	}

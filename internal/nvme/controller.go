@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -124,6 +125,14 @@ type QueueStats struct {
 	// CQEsDropped counts completions discarded by fault injection
 	// (InjectDropCQEs) for this queue.
 	CQEsDropped uint64
+	// SQOcc accounts submission-queue occupancy: entries enter at the
+	// tail-doorbell write and exit when the arbitration loop claims
+	// them, so its residence time is exactly the SQ queueing delay.
+	SQOcc attr.Occ
+	// CQOcc accounts completion-queue occupancy (indexed by CQ ID,
+	// which pairs 1:1 with the SQ ID here): entries enter when the CQE
+	// posts and exit at the host's CQ head-doorbell write.
+	CQOcc attr.Occ
 }
 
 // Stats are controller counters exposed for tests and tools.
@@ -187,6 +196,13 @@ type Controller struct {
 	// Stats is exported state for observability; not part of the device
 	// model.
 	Stats Stats
+	// BusyOcc accounts commands in flight inside the controller (fetch
+	// through CQE post): its busy time is the controller's non-idle
+	// time, its mean level the effective command concurrency.
+	BusyOcc attr.Occ
+	// AdminOcc accounts admin commands specifically — the contended
+	// bring-up resource when many hosts share one controller.
+	AdminOcc attr.Occ
 	// qstats attributes work to individual queues, indexed by SQ ID.
 	qstats []QueueStats
 
@@ -205,16 +221,16 @@ type Controller struct {
 func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Medium, params Params) (*Controller, error) {
 	p := params.withDefaults()
 	c := &Controller{
-		name:   name,
-		kernel: dom.Kernel(),
-		dom:    dom,
-		node:   node,
-		bar:    bar,
-		med:    med,
-		params: p,
-		sqs:    make([]*subQueue, p.MaxQueuePairs),
-		cqs:    make([]*compQueue, p.MaxQueuePairs),
-		msi:    make([]MSIEntry, p.MaxQueuePairs),
+		name:    name,
+		kernel:  dom.Kernel(),
+		dom:     dom,
+		node:    node,
+		bar:     bar,
+		med:     med,
+		params:  p,
+		sqs:     make([]*subQueue, p.MaxQueuePairs),
+		cqs:     make([]*compQueue, p.MaxQueuePairs),
+		msi:     make([]MSIEntry, p.MaxQueuePairs),
 		qstats:  make([]QueueStats, p.MaxQueuePairs),
 		dropCQE: make([]int, p.MaxQueuePairs),
 		ident: IdentifyController{
@@ -454,6 +470,9 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 		}
 		c.Stats.SQDoorbellWrites++
 		c.qstats[qid].SQDoorbells++
+		if n := (val - sq.tail + sq.size) % sq.size; n > 0 {
+			c.qstats[qid].SQOcc.EnterN(c.kernel.Now(), int64(n))
+		}
 		sq.tail = val
 		c.doorbell.Set()
 	} else {
@@ -463,6 +482,9 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 			return
 		}
 		c.Stats.CQDoorbellWrites++
+		if n := (val - cq.head + cq.size) % cq.size; n > 0 {
+			c.qstats[qid].CQOcc.ExitN(c.kernel.Now(), int64(n))
+		}
 		cq.head = val
 		c.cqSpace.Set()
 	}
@@ -490,6 +512,7 @@ func (c *Controller) run(p *sim.Proc) {
 			// the SQ memory lives — the Fig. 8 effect).
 			slot := sq.head
 			sq.head = (sq.head + 1) % sq.size
+			c.qstats[sq.id].SQOcc.Exit(p.Now())
 			p.Acquire(c.inflight)
 			q := sq
 			c.kernel.Spawn(fmt.Sprintf("%s/cmd-q%d-s%d", c.name, q.id, slot), func(wp *sim.Proc) {
@@ -567,6 +590,12 @@ func (c *Controller) dmaWrite(p *sim.Proc, addr pcie.Addr, data []byte) error {
 
 // execute fetches and runs the command in SQ slot, then posts a completion.
 func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
+	c.BusyOcc.Enter(p.Now())
+	defer func() { c.BusyOcc.Exit(p.Now()) }()
+	if sq.id == 0 {
+		c.AdminOcc.Enter(p.Now())
+		defer func() { c.AdminOcc.Exit(p.Now()) }()
+	}
 	tr := c.tracer
 	t0 := p.Now()
 	buf := make([]byte, SQESize)
@@ -643,6 +672,7 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 	c.tracer.Hop(sq.id, cid, trace.StageCQPost, t0, p.Now())
 	c.Stats.Completions++
 	c.qstats[sq.id].Completions++
+	c.qstats[sq.cqid].CQOcc.Enter(p.Now())
 	if cq.ien {
 		c.interrupt(p, cq.iv)
 	}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/attr"
 	"repro/internal/sim"
 )
 
@@ -185,6 +186,10 @@ type Domain struct {
 	lastArrival map[string]sim.Time
 	hopCache    map[[2]NodeID]int
 	stats       DomainStats
+	// link accounts the flight intervals of transactions that cross an
+	// NTB boundary (Crossings > 0): offered busy time and mean bytes in
+	// flight on the cluster link, as seen from this domain's initiators.
+	link attr.Window
 	// shard is the execution-shard assignment for the parallel sharded
 	// kernel (sim.ShardGroup): domains on the same shard may interact
 	// synchronously; cross-shard interactions must ride messages with at
@@ -206,6 +211,10 @@ type DomainStats struct {
 
 // Stats returns the domain's transaction counters.
 func (d *Domain) Stats() DomainStats { return d.stats }
+
+// Link returns the cross-link flight accounting for transactions this
+// domain's initiators routed over an NTB boundary.
+func (d *Domain) Link() attr.Window { return d.link }
 
 // NewDomain creates an empty domain on kernel k. Pass a zero LinkParams to
 // use defaults.
@@ -431,12 +440,16 @@ func (d *Domain) MemWrite(p *sim.Proc, from NodeID, addr Addr, data []byte) erro
 	d.stats.PostedWrites++
 	d.stats.BytesWritten += uint64(len(data))
 	d.stats.Crossings += uint64(res.Crossings)
+	t0 := d.kernel.Now()
 	ser := d.params.SerializeNs(len(data))
 	// The initiator occupies its port for the serialization time.
 	p.Sleep(ser)
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	arrival := d.postedArrival(from, res.OneWayNs)
+	if res.Crossings > 0 {
+		d.link.Record(t0, int64(arrival), uint64(len(data)))
+	}
 	d.kernel.After(arrival-d.kernel.Now(), func() {
 		res.Target.TargetWrite(res.Addr, buf)
 	})
@@ -453,10 +466,14 @@ func (d *Domain) MMIOWrite(p *sim.Proc, from NodeID, addr Addr, data []byte) err
 	d.stats.MMIOWrites++
 	d.stats.BytesWritten += uint64(len(data))
 	d.stats.Crossings += uint64(res.Crossings)
+	t0 := d.kernel.Now()
 	p.Sleep(d.params.MMIOIssueNs)
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	arrival := d.postedArrival(from, res.OneWayNs)
+	if res.Crossings > 0 {
+		d.link.Record(t0, int64(arrival), uint64(len(data)))
+	}
 	d.kernel.After(arrival-d.kernel.Now(), func() {
 		res.Target.TargetWrite(res.Addr, buf)
 	})
@@ -476,12 +493,16 @@ func (d *Domain) MemRead(p *sim.Proc, from NodeID, addr Addr, buf []byte) error 
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(len(buf))
 	d.stats.Crossings += uint64(res.Crossings)
+	t0 := d.kernel.Now()
 	// Request flight.
 	p.Sleep(res.OneWayNs)
 	// Completer services the read now.
 	res.Target.TargetRead(res.Addr, buf)
 	// Completion flight plus payload serialization.
 	p.Sleep(res.OneWayNs + d.params.CplServiceNs + d.params.SerializeNs(len(buf)))
+	if res.Crossings > 0 {
+		d.link.Record(t0, d.kernel.Now(), uint64(len(buf)))
+	}
 	return nil
 }
 

@@ -94,6 +94,16 @@ type ShardGroup struct {
 	lockstep uint64
 	running  bool
 	shutdown bool
+
+	// Occupancy accounting of the window protocol itself, computed from
+	// pre-dispatch PeekTimes — pure virtual-time facts, identical at any
+	// GOMAXPROCS. participations counts (window, shard) pairs where the
+	// shard had work inside the horizon; stallWindows counts pairs where
+	// a shard had pending work beyond the horizon and sat out the
+	// window, with stallNs accumulating how far beyond.
+	participations uint64
+	stallWindows   uint64
+	stallNs        int64
 }
 
 // NewShardGroup creates a group of n independent shards (n >= 1).
@@ -335,6 +345,13 @@ func (g *ShardGroup) Run(limit Time) Time {
 			// shards in ID order, messages delivered between shards so a
 			// same-timestamp send reaches later shards within the round.
 			for _, sh := range g.shards {
+				// Zero-width rounds: participation/stall counting only,
+				// no stall time to accumulate.
+				if pt := sh.k.PeekTime(); pt <= t {
+					g.participations++
+				} else if pt != MaxTime {
+					g.stallWindows++
+				}
 				sh.k.Run(t)
 				g.mergeFrom(sh)
 			}
@@ -344,6 +361,20 @@ func (g *ShardGroup) Run(limit Time) Time {
 		horizon := limit
 		if g.lookahead != MaxTime && t <= MaxTime-g.lookahead && t+g.lookahead-1 < limit {
 			horizon = t + g.lookahead - 1
+		}
+		// Account the window before dispatch: other shards' PeekTimes are
+		// stable during a window (mailboxes merge only at the barrier),
+		// so these are the same pre-dispatch facts the scheduling
+		// decision uses — deterministic at any GOMAXPROCS.
+		for _, sh := range g.shards {
+			if pt := sh.k.PeekTime(); pt <= horizon {
+				g.participations++
+			} else if pt != MaxTime {
+				g.stallWindows++
+				if horizon != MaxTime {
+					g.stallNs += int64(horizon - t + 1)
+				}
+			}
 		}
 		if parallel {
 			n := 0
@@ -423,11 +454,32 @@ type GroupStats struct {
 	// MaxMailboxDepth is the deepest any link's staging buffer got —
 	// the observed bound the conservative windows impose.
 	MaxMailboxDepth int
+	// Participations counts (window, shard) pairs where the shard ran
+	// work inside the horizon; StallWindows counts pairs where a shard
+	// had pending work beyond the horizon and idled through the window,
+	// StallNs summing the window widths it idled through — the barrier
+	// stall time the conservative protocol costs.
+	Participations uint64
+	StallWindows   uint64
+	StallNs        int64
 	// Lookahead echoes the group's window length; DegradedSequential
 	// reports that Parallel was requested but the topology (one shard or
 	// zero lookahead) forces sequential execution.
 	Lookahead          Duration
 	DegradedSequential bool
+
+	shardCount uint64
+}
+
+// LookaheadUtilization is the mean fraction of shards doing work per
+// window (parallel-capable windows plus lockstep rounds) — 1.0 means
+// every shard was busy every window, lower means barrier idling.
+func (st GroupStats) LookaheadUtilization() float64 {
+	rounds := st.Windows + st.LockstepRounds
+	if rounds == 0 {
+		return 0
+	}
+	return float64(st.Participations) / float64(rounds*st.shardCount)
 }
 
 // Stats returns the group's aggregated counters.
@@ -435,8 +487,12 @@ func (g *ShardGroup) Stats() GroupStats {
 	st := GroupStats{
 		Windows:            g.windows,
 		LockstepRounds:     g.lockstep,
+		Participations:     g.participations,
+		StallWindows:       g.stallWindows,
+		StallNs:            g.stallNs,
 		Lookahead:          g.lookahead,
 		DegradedSequential: g.parallel && !g.parallelActive(),
+		shardCount:         uint64(len(g.shards)),
 	}
 	for _, sh := range g.shards {
 		ks := sh.k.Stats()

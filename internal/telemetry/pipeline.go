@@ -69,8 +69,8 @@ type Pipeline struct {
 // a kernel's virtual clock, or Sample directly for one-shot snapshots.
 func NewPipeline(reg *trace.Registry, cfg Config) *Pipeline {
 	return &Pipeline{
-		cfg:   cfg.withDefaults(),
-		reg:   reg,
+		cfg:       cfg.withDefaults(),
+		reg:       reg,
 		byKey:     make(map[string]*Series),
 		wins:      make(map[string]*stats.HistWindow),
 		prev:      make(map[string]uint64),

@@ -52,6 +52,24 @@ func noteArgs(h Hop) map[string]any {
 	return nil
 }
 
+// CounterPoint is one sample of a counter track: the counter takes
+// Value at virtual time TSNs and holds it until the next point.
+type CounterPoint struct {
+	TSNs  int64
+	Value float64
+}
+
+// CounterTrack is a Chrome "C"-phase counter series rendered by
+// Perfetto as a stepped area chart on process PID — occupancy levels
+// (commands in flight per queue, controller slots) derived from the
+// same spans the duration events come from.
+type CounterTrack struct {
+	Name   string
+	PID    int
+	Series string
+	Points []CounterPoint
+}
+
 // WriteChrome writes spans as a Chrome trace-event JSON object. Each
 // queue becomes a "process" (pid = queue ID) and each command ID a
 // "thread" within it, so a span's stage slices nest naturally under its
@@ -59,6 +77,12 @@ func noteArgs(h Hop) map[string]any {
 // Output is deterministic: spans and hops are emitted in virtual-time
 // order and all maps have sorted keys (encoding/json sorts map keys).
 func WriteChrome(w io.Writer, spans []*Span, meta map[string]string) error {
+	return WriteChromeWith(w, spans, meta, nil)
+}
+
+// WriteChromeWith is WriteChrome plus counter tracks appended as "C"
+// events after the span events.
+func WriteChromeWith(w io.Writer, spans []*Span, meta map[string]string, tracks []CounterTrack) error {
 	f := chromeFile{DisplayTimeUnit: "ns", OtherData: meta}
 	f.TraceEvents = make([]chromeEvent, 0, len(spans)*8+2)
 	seenQ := map[uint16]bool{}
@@ -86,6 +110,15 @@ func WriteChrome(w io.Writer, spans []*Span, meta map[string]string) error {
 				TS: usec(h.Start), Dur: durPtr(h.Start, h.End),
 				PID: int(s.QID), TID: int(s.CID),
 				Args: noteArgs(h),
+			})
+		}
+	}
+	for _, tr := range tracks {
+		for _, pt := range tr.Points {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: tr.Name, Cat: "counter", Ph: "C",
+				TS: usec(pt.TSNs), PID: tr.PID,
+				Args: map[string]any{tr.Series: pt.Value},
 			})
 		}
 	}
