@@ -12,6 +12,8 @@
 //	sweep -faults [-seed N] [-hosts N] [-qd D] [-ios N] [-out FAULTS_sim.json]
 //	sweep -serve 127.0.0.1:9120 [-linger] [-telemetry out.json]
 //	sweep -bottleneck [-op read|write] [-qd D] [-ios N] [-out report.txt]
+//	sweep -whatif [-qd D] [-ios N] [-out report.txt] [-maxerr PCT]
+//	sweep -benchcmp [-tolerance F] old.json new.json
 //
 // The -wallclock mode measures the simulator itself (not the simulated
 // system): kernel events dispatched per real second and real nanoseconds
@@ -34,6 +36,20 @@
 // table per scenario. The report contains only virtual-time facts: the
 // same invocation is byte-identical at any GOMAXPROCS, which CI
 // verifies.
+//
+// The -whatif mode is the causal profiler: for every calibrated latency
+// knob x scale factor x scenario it predicts the end-to-end delta from
+// the baseline run's blame attribution, then EXECUTES the counterfactual
+// (the same deterministic run with only that knob scaled) and reports
+// predicted vs actual side by side with the prediction error, ranked by
+// measured leverage. The report is byte-identical at any GOMAXPROCS; the
+// exit code is nonzero if any service-time-only cell's prediction error
+// exceeds the documented bound (-maxerr overrides it).
+//
+// The -benchcmp mode compares two BENCH_sim.json files on virtual-time
+// facts only (event counts, virtual durations, top bottlenecks, top
+// levers, sensitivity actuals) within -tolerance, exiting nonzero on
+// regression; wall-clock numbers are printed but never gate.
 //
 // The -trace mode runs one scenario with per-IO tracing on and writes a
 // Chrome trace-event JSON file (loadable at ui.perfetto.dev), plus a
@@ -67,6 +83,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -92,6 +109,10 @@ func main() {
 		blockprof = flag.String("blockprofile", "", "enable blocking profiling (rate 1) and write the pprof block profile at exit to this path")
 		mutexprof = flag.String("mutexprofile", "", "enable mutex profiling (fraction 1) and write the pprof mutex profile at exit to this path")
 		bottleck  = flag.Bool("bottleneck", false, "run every scenario traced and print ranked per-resource bottleneck attribution (deterministic; -out writes the report text)")
+		whatifM   = flag.Bool("whatif", false, "execute the counterfactual sensitivity matrix (every knob x factor x scenario) and print predicted-vs-actual deltas ranked by leverage (deterministic; -out writes the report text)")
+		maxErr    = flag.Float64("maxerr", whatif.ServiceOnlyErrorBoundPct, "with -whatif, fail (exit 1) if a service-only cell's |prediction error| exceeds this percentage")
+		benchcmp  = flag.Bool("benchcmp", false, "compare two BENCH_sim.json files (args: old.json new.json) on virtual-time facts; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.05, "with -benchcmp, relative tolerance for numeric comparisons (0.05 = 5%)")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -141,6 +162,17 @@ func main() {
 	}
 	if *bottleck {
 		runBottleneck(fop, *op, *qd, *ios, *out)
+		return
+	}
+	if *whatifM {
+		runWhatif(*qd, *ios, *out, *maxErr)
+		return
+	}
+	if *benchcmp {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-benchcmp needs exactly two arguments: old.json new.json"))
+		}
+		runBenchcmp(flag.Arg(0), flag.Arg(1), *tolerance)
 		return
 	}
 	if *faults {
@@ -326,8 +358,10 @@ type scalingRun struct {
 // parallel kernel. v5: the deprecated top-level "gomaxprocs" (ambient
 // GOMAXPROCS, superseded by per-run "cores") is removed, and each
 // breakdown carries its ranked "bottlenecks" rows and "top_bottleneck"
-// from the attribution engine.
-const benchSchemaVersion = 5
+// from the attribution engine. v6: the "sensitivity" section — one
+// executed counterfactual matrix per scenario with per-cell
+// predicted_ns/actual_ns/error_pct and the ranked "top_lever".
+const benchSchemaVersion = 6
 
 // sweepConfig echoes the scenario configuration a report was produced
 // with, so a BENCH_sim.json is self-describing.
@@ -369,7 +403,14 @@ type wallclockReport struct {
 	Breakdowns []scenarioBreakdown `json:"breakdowns"`
 	// Scaling is the parallel-kernel scaling curve (v4).
 	Scaling []scalingRun `json:"scaling"`
+	// Sensitivity is the executed counterfactual matrix per scenario (v6):
+	// every knob x factor run for real, with the blame-predicted delta and
+	// its error alongside, and the measured top lever.
+	Sensitivity []sensitivityEntry `json:"sensitivity"`
 }
+
+// sensitivityEntry is one scenario's sensitivity matrix in the report.
+type sensitivityEntry = *whatif.Report
 
 // sweepWallclock measures simulator throughput per scenario at QD1 and
 // QD8, sweeps the sharded parallel kernel over GOMAXPROCS 1/2/4/8, and
@@ -446,6 +487,13 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out, digestOu
 			fatal(err)
 		}
 		rep.Breakdowns = append(rep.Breakdowns, bd)
+	}
+	// The executed sensitivity matrix (v6). Read-only workload at the
+	// whatif engine's standard sizes; every cell is a real run.
+	rep.Sensitivity = runWhatifMatrix(4, bdIOs)
+	for _, se := range rep.Sensitivity {
+		fmt.Printf("whatif %-14s baseline %8.1f ns/IO  top lever %s\n",
+			se.Scenario, se.BaselineNs, se.TopLever)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -545,6 +593,14 @@ func digestText(rep *wallclockReport) string {
 			fmt.Fprintf(&b, " %s=%.1f", row.Resource, row.BlamedNsIO)
 		}
 		fmt.Fprintf(&b, "\n")
+	}
+	for _, se := range rep.Sensitivity {
+		fmt.Fprintf(&b, "whatif %s baseline_ns=%.1f top_lever=%s\n",
+			se.Scenario, se.BaselineNs, se.TopLever)
+		for _, c := range se.Cells {
+			fmt.Fprintf(&b, "whatif-cell %s %s x%.2f predicted_ns=%.1f actual_ns=%.1f err_pct=%.2f\n",
+				se.Scenario, c.Knob, c.Factor, c.PredictedNs, c.ActualNs, c.ErrorPct)
+		}
 	}
 	return b.String()
 }

@@ -89,6 +89,16 @@ func (b Blame) QueueShare() float64 {
 // BlameSet aggregates critical-path blame over a span population.
 type BlameSet struct {
 	rows map[string]*Blame
+	// stageNs is service time per trace stage — the same segments the
+	// resource rows fold, keyed by the stage that produced them. The
+	// counterfactual engine (internal/whatif) predicts per-knob deltas
+	// from it: a knob that owns a stage outright (firmware decode, the
+	// medium access) predicts as (factor-1) x the stage's service sum.
+	stageNs map[trace.Stage]int64
+	// stageCross sums the crossing counts hop notes carry (the NTB
+	// doorbell flight and the controller's SQE fetch record how many
+	// host boundaries the transaction crossed).
+	stageCross map[trace.Stage]uint64
 	// Spans counts attributed spans; EndToEndNs sums their durations.
 	Spans      int
 	EndToEndNs int64
@@ -100,7 +110,31 @@ type BlameSet struct {
 
 // NewBlameSet returns an empty aggregation.
 func NewBlameSet() *BlameSet {
-	return &BlameSet{rows: make(map[string]*Blame)}
+	return &BlameSet{
+		rows:       make(map[string]*Blame),
+		stageNs:    make(map[trace.Stage]int64),
+		stageCross: make(map[trace.Stage]uint64),
+	}
+}
+
+// StageServiceNs is the summed service time attributed to stage st
+// across every folded span. Stage sums partition the same totals the
+// resource rows do, one level finer.
+func (bs *BlameSet) StageServiceNs(st trace.Stage) int64 { return bs.stageNs[st] }
+
+// StageCrossings is the summed host-boundary crossing count recorded on
+// st's hop notes (StageNTBCross and StageCtrlFetch carry them; other
+// stages report 0).
+func (bs *BlameSet) StageCrossings(st trace.Stage) uint64 { return bs.stageCross[st] }
+
+// ResourceBlame returns the aggregated blame for one resource (zero
+// value if the resource attracted none) — the per-resource exposure the
+// prediction model reads without re-ranking rows.
+func (bs *BlameSet) ResourceBlame(resource string) Blame {
+	if b := bs.rows[resource]; b != nil {
+		return *b
+	}
+	return Blame{Resource: resource}
 }
 
 func (bs *BlameSet) emit(resource string, queue bool, ns int64) {
@@ -129,6 +163,12 @@ func (bs *BlameSet) AddSpan(s *trace.Span) int64 {
 	}
 	bs.Spans++
 	bs.EndToEndNs += d
+	for _, h := range s.Hops {
+		switch h.Stage {
+		case trace.StageNTBCross, trace.StageCtrlFetch:
+			bs.stageCross[h.Stage] += h.Note
+		}
+	}
 	attributed := bs.blameSpan(s)
 	residual := d - attributed
 	bs.ResidualNs += residual
@@ -177,6 +217,7 @@ func (bs *BlameSet) blameSpan(s *trace.Span) int64 {
 			attributed += bs.blameDeviceWindow(hs, he, subHops)
 		} else {
 			bs.emit(clientResource(h.Stage), false, he-hs)
+			bs.stageNs[h.Stage] += he - hs
 			attributed += he - hs
 		}
 		cur = he
@@ -208,6 +249,7 @@ func (bs *BlameSet) blameDeviceWindow(ds, de int64, subHops []trace.Hop) int64 {
 		}
 		if he > hs {
 			bs.emit(serviceResource(h.Stage), false, he-hs)
+			bs.stageNs[h.Stage] += he - hs
 			cur = he
 		} else if h.Start > cur {
 			// Zero-length hop (a coalesced doorbell): it closed the gap

@@ -31,6 +31,11 @@ const (
 	NVMeBARSize = 0x8000
 )
 
+// DefaultCrossNs is the calibrated cluster-switch+LUT crossing cost per
+// direction (Config.CrossNs zero value) — the paper's "each switch chip
+// adds 100–150 ns" figure.
+const DefaultCrossNs int64 = 125
+
 // Config parameterizes a cluster build.
 type Config struct {
 	// Hosts is the number of hosts (≥ 1).
@@ -57,7 +62,7 @@ func (c Config) withDefaults() Config {
 		c.MemBytes = 64 << 20
 	}
 	if c.CrossNs == 0 {
-		c.CrossNs = 125 // the cluster switch chip traversal
+		c.CrossNs = DefaultCrossNs // the cluster switch chip traversal
 	}
 	return c
 }

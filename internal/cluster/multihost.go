@@ -57,6 +57,9 @@ type MultiHostConfig struct {
 	// the run (sampling Registry on virtual time) and flushed with a
 	// final sample after the run drains.
 	Pipeline *telemetry.Pipeline
+	// Overlay scales calibrated latency knobs for counterfactual
+	// experiments (see LatencyOverlay); nil is the identity.
+	Overlay LatencyOverlay
 	// Tracer, when non-nil, is threaded through the controller and every
 	// client so each I/O leaves a per-hop span (clients own distinct
 	// queue pairs, so spans never collide). Traced runs must leave
@@ -125,6 +128,7 @@ func (r *MultiHostResult) AggIOPS() float64 {
 // and tail-latency series available live and after the run.
 func RunMultiHost(cfg MultiHostConfig) (*MultiHostResult, error) {
 	cfg = cfg.withDefaults()
+	cfg = cfg.Overlay.ApplyMultiHost(cfg)
 	if cfg.Hosts < 1 || cfg.Hosts > 31 {
 		return nil, fmt.Errorf("cluster: multihost needs 1..31 client hosts, got %d", cfg.Hosts)
 	}

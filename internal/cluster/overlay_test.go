@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+)
+
+func TestOverlayValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    LatencyOverlay
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"empty", LatencyOverlay{}, true},
+		{"known", LatencyOverlay{KnobMedium: 0.5}, true},
+		{"all knobs", func() LatencyOverlay {
+			o := LatencyOverlay{}
+			for _, k := range OverlayKnobs() {
+				o[k] = 1.1
+			}
+			return o
+		}(), true},
+		{"unknown knob", LatencyOverlay{"flux.capacitor": 2}, false},
+		{"zero factor", LatencyOverlay{KnobMedium: 0}, false},
+		{"negative factor", LatencyOverlay{KnobMedium: -1}, false},
+		{"nan", LatencyOverlay{KnobMedium: nan()}, false},
+		{"inf", LatencyOverlay{KnobMedium: inf()}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.o.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+func TestScaleNsClampsAndRounds(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		f    float64
+		want int64
+	}{
+		{100, 2, 200},
+		{100, 0.5, 50},
+		{125, 0.9, 113}, // rounds to nearest
+		{3, 0.1, 1},     // clamps: never collapses to the 0 "use default"
+		{1, 0.01, 1},
+		{0, 2, 0},   // zero stays zero (still means "use default")
+		{-5, 2, -5}, // negative sentinel untouched
+	}
+	for _, tc := range cases {
+		if got := ScaleNs(tc.ns, tc.f); got != tc.want {
+			t.Errorf("ScaleNs(%d, %v) = %d, want %d", tc.ns, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestOverlayMaterializesDefaults checks the central convention: a zero
+// config field means "use the calibrated default", so scaling must
+// materialize the default first — a 0.5x knob over an all-zero config
+// must equal 0.5x the documented calibration.
+func TestOverlayMaterializesDefaults(t *testing.T) {
+	o := LatencyOverlay{
+		KnobNTBCross: 0.5, KnobSwitchHop: 0.5, KnobHostMMIO: 0.5,
+		KnobCtrlDecode: 0.5, KnobCtrlCpl: 0.5, KnobMedium: 0.5,
+		KnobHostSubmit: 0.5, KnobHostComplete: 0.5, KnobAdmin: 0.5,
+	}
+	cfg := o.ApplyScenario(ScenarioConfig{})
+
+	dl := pcie.DefaultLinkParams()
+	dc := nvme.DefaultParams()
+	df := nvme.DefaultFlashParams()
+	dcl := core.DefaultClientParams()
+
+	if got, want := cfg.Cluster.CrossNs, ScaleNs(DefaultCrossNs, 0.5); got != want {
+		t.Errorf("CrossNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.Cluster.Link.PerSwitchNs, ScaleNs(dl.PerSwitchNs, 0.5); got != want {
+		t.Errorf("PerSwitchNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.Cluster.Link.MMIOIssueNs, ScaleNs(dl.MMIOIssueNs, 0.5); got != want {
+		t.Errorf("MMIOIssueNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.NVMe.Ctrl.CmdOverheadNs, ScaleNs(dc.CmdOverheadNs, 0.5); got != want {
+		t.Errorf("CmdOverheadNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.NVMe.Ctrl.CplOverheadNs, ScaleNs(dc.CplOverheadNs, 0.5); got != want {
+		t.Errorf("CplOverheadNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.NVMe.Ctrl.AdminOverheadNs, ScaleNs(dc.CmdOverheadNs, 0.5); got != want {
+		t.Errorf("AdminOverheadNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.NVMe.Ctrl.EnableDelayNs, ScaleNs(dc.EnableDelayNs, 0.5); got != want {
+		t.Errorf("EnableDelayNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.NVMe.Flash.ReadBaseNs, ScaleNs(df.ReadBaseNs, 0.5); got != want {
+		t.Errorf("ReadBaseNs = %d, want %d", got, want)
+	}
+	// Jitter and tail keep the baseline draws on purpose.
+	if cfg.NVMe.Flash.JitterNs != 0 || cfg.NVMe.Flash.TailNs != 0 {
+		t.Errorf("jitter/tail scaled: %+v", cfg.NVMe.Flash)
+	}
+	if got, want := cfg.Client.SubmitOverheadNs, ScaleNs(dcl.SubmitOverheadNs, 0.5); got != want {
+		t.Errorf("SubmitOverheadNs = %d, want %d", got, want)
+	}
+	if got, want := cfg.Client.CompleteOverheadNs, ScaleNs(dcl.CompleteOverheadNs, 0.5); got != want {
+		t.Errorf("CompleteOverheadNs = %d, want %d", got, want)
+	}
+}
+
+// TestOverlayExplicitFieldsScaleInPlace checks an explicitly set field
+// scales from its set value, not the default.
+func TestOverlayExplicitFieldsScaleInPlace(t *testing.T) {
+	o := LatencyOverlay{KnobCtrlDecode: 2}
+	cfg := o.ApplyScenario(ScenarioConfig{NVMe: NVMeConfig{Ctrl: nvme.Params{CmdOverheadNs: 1000}}})
+	if got := cfg.NVMe.Ctrl.CmdOverheadNs; got != 2000 {
+		t.Errorf("CmdOverheadNs = %d, want 2000", got)
+	}
+}
+
+// TestOverlayIdentity checks nil and factor-1 overlays leave configs
+// bitwise untouched (baseline runs must stay byte-for-byte identical).
+func TestOverlayIdentity(t *testing.T) {
+	base := ScenarioConfig{}
+	if got := (LatencyOverlay)(nil).ApplyScenario(base); got.Cluster.CrossNs != 0 || got.NVMe.Ctrl.CmdOverheadNs != 0 {
+		t.Errorf("nil overlay materialized defaults: %+v", got)
+	}
+	one := LatencyOverlay{KnobMedium: 1}
+	if got := one.ApplyScenario(base); got.NVMe.Flash.ReadBaseNs != 0 {
+		t.Errorf("factor-1 overlay materialized defaults: %+v", got)
+	}
+}
+
+// TestOverlayShardScaleLookaheadConsistency checks a scaled crossing
+// flows into both the latency model and the shard plan lookahead —
+// RunShardedScale hard-errors if they diverge.
+func TestOverlayShardScaleLookaheadConsistency(t *testing.T) {
+	for _, f := range []float64{0.5, 2} {
+		cfg := ShardScaleConfig{Hosts: 2, IOsPerHost: 10, Overlay: LatencyOverlay{KnobNTBCross: f}}
+		if _, err := RunShardedScale(cfg); err != nil {
+			t.Fatalf("factor %v: %v", f, err)
+		}
+	}
+}

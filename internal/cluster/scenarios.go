@@ -58,6 +58,12 @@ type ScenarioConfig struct {
 	Initiator nvmeof.InitiatorParams
 	// BlockQueue tunes the block layer shared by every scenario.
 	BlockQueue block.QueueParams
+	// Overlay scales calibrated latency knobs for counterfactual
+	// experiments (see LatencyOverlay); nil is the identity. It is
+	// applied over the fields above with defaults materialized, so an
+	// overlaid scenario differs from the baseline only in the scaled
+	// knobs.
+	Overlay LatencyOverlay
 	// Tracer, when non-nil, is threaded through the controller and the
 	// scenario's driver stack so every I/O leaves a per-hop span. Traced
 	// runs must produce identical virtual-time results to untraced ones.
@@ -83,6 +89,7 @@ type Env struct {
 
 // Build creates the cluster for scenario s (but no drivers yet).
 func Build(s Scenario, cfg ScenarioConfig) (*Cluster, *nvme.Controller, error) {
+	cfg = cfg.Overlay.ApplyScenario(cfg)
 	cc := cfg.Cluster
 	switch s {
 	case LinuxLocal, OursLocal:
@@ -110,6 +117,7 @@ func Build(s Scenario, cfg ScenarioConfig) (*Cluster, *nvme.Controller, error) {
 // bringUp constructs the scenario's driver stack inside process p and
 // returns the block queue.
 func bringUp(p *sim.Proc, s Scenario, c *Cluster, ctrl *nvme.Controller, cfg ScenarioConfig) (*Env, error) {
+	cfg = cfg.Overlay.ApplyScenario(cfg)
 	if cfg.Tracer != nil {
 		cfg.HostDriver.Tracer = cfg.Tracer
 		cfg.Client.Tracer = cfg.Tracer

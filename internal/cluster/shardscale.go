@@ -62,6 +62,11 @@ type ShardScaleConfig struct {
 	// derive from; NVMe is the controller/flash calibration.
 	Cluster Config
 	NVMe    NVMeConfig
+	// Overlay scales calibrated latency knobs for counterfactual
+	// experiments (see LatencyOverlay); nil is the identity. A scaled
+	// crossing cost consistently changes both the latency model and the
+	// shard plan's conservative lookahead.
+	Overlay LatencyOverlay
 	// Registry, when non-nil, receives the shard group's sim.shard.*
 	// window-protocol metrics (wired after the run completes, so gauge
 	// reads never race a parallel window).
@@ -141,6 +146,98 @@ func (r *ShardScaleResult) AggIOPS() float64 {
 		return 0
 	}
 	return float64(r.TotalIOs) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// MeanLatNs is the fleet-wide mean per-IO latency (hosts run identical
+// budgets, so the unweighted mean of per-host averages is the global
+// mean up to the per-host integer truncation).
+func (r *ShardScaleResult) MeanLatNs() float64 {
+	if len(r.PerHost) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range r.PerHost {
+		sum += float64(h.AvgLatNs)
+	}
+	return sum / float64(len(r.PerHost))
+}
+
+// ShardChain is the analytic per-IO service-time composition of the
+// sharded model: the zero-contention latency a lone command pays,
+// decomposed by overlay knob. The counterfactual engine predicts from
+// it — the sharded scenario is event-level and leaves no per-IO spans,
+// but its latency constants are closed-form, so "blame" is exact
+// arithmetic instead of a trace fold. TotalNs includes the expected
+// jitter and tail contributions (which no knob owns); the measured mean
+// minus TotalNs estimates the closed-loop queueing delay.
+type ShardChain struct {
+	// TotalNs is the full zero-contention service chain per IO.
+	TotalNs int64
+	// PerKnob maps each overlay knob to the ns of TotalNs it owns
+	// (knobs without a surface in this model map to 0).
+	PerKnob map[string]int64
+}
+
+// ShardScaleChain derives the analytic chain for cfg, overlay included,
+// from the same calibration path RunShardedScale executes.
+func ShardScaleChain(cfg ShardScaleConfig) ShardChain {
+	cfg = cfg.withDefaults()
+	cfg = cfg.Overlay.ApplyShardScale(cfg)
+	lat := deriveLatencies(cfg)
+	cc := cfg.Cluster.withDefaults()
+	lp := cc.Link
+	def := pcie.DefaultLinkParams()
+	if lp.PerSwitchNs == 0 {
+		lp.PerSwitchNs = def.PerSwitchNs
+	}
+	if lp.MMIOIssueNs == 0 {
+		lp.MMIOIssueNs = def.MMIOIssueNs
+	}
+	fl := cfg.NVMe.Flash
+	dfl := nvme.DefaultFlashParams()
+	if fl.ReadBaseNs == 0 {
+		fl.ReadBaseNs = dfl.ReadBaseNs
+	}
+	if fl.PerBlockNs == 0 {
+		fl.PerBlockNs = dfl.PerBlockNs
+	}
+	if fl.JitterNs == 0 {
+		fl.JitterNs = dfl.JitterNs
+	}
+	if fl.TailNs == 0 {
+		fl.TailNs = dfl.TailNs
+	}
+	if fl.TailProb == 0 {
+		fl.TailProb = dfl.TailProb
+	}
+	// The data path crosses the host<->controller boundary four times
+	// per IO: the doorbell send, the SQE fetch round trip (two) and the
+	// payload DMA + CQE send.
+	const crossings = 4
+	mediumBase := fl.ReadBaseNs + fl.PerBlockNs*int64(cfg.BlocksPerIO-1)
+	perKnob := map[string]int64{
+		KnobHostSubmit:   lat.stageNs * int64(cfg.HostStages),
+		KnobHostMMIO:     2 * lp.MMIOIssueNs,
+		KnobNTBCross:     crossings * cc.CrossNs,
+		KnobSwitchHop:    crossings * 2 * lp.PerSwitchNs,
+		KnobCtrlDecode:   lat.cmdNs,
+		KnobCtrlCpl:      lat.cplNs,
+		KnobMedium:       mediumBase,
+		KnobHostComplete: 0,
+		KnobAdmin:        0,
+	}
+	// The completion send is max(dma+cpl, cross); with the default
+	// calibration dma+cpl dominates, mirroring onMediumDone.
+	cplSend := lat.dmaNs + lat.cplNs
+	if cplSend < lat.crossNs {
+		cplSend = lat.crossNs
+	}
+	total := lat.stageNs*int64(cfg.HostStages) +
+		lat.doorbellNs + lat.crossNs +
+		lat.fetchNs + lat.cmdNs +
+		mediumBase + lat.jitterNs/2 + int64(float64(lat.tailNs)*float64(lat.tailPpm)/1e6) +
+		cplSend + lat.hostCplNs
+	return ShardChain{TotalNs: total, PerKnob: perKnob}
 }
 
 // FNV-1a over uint64 words — the deterministic run digest.
@@ -442,6 +539,7 @@ func (c *scaleCtrl) cmdIndex(ref scaleCmdRef) uint64 {
 // its deterministic result.
 func RunShardedScale(cfg ShardScaleConfig) (*ShardScaleResult, error) {
 	cfg = cfg.withDefaults()
+	cfg = cfg.Overlay.ApplyShardScale(cfg)
 	plan, err := PlanShards(cfg.Hosts, cfg.HostShards, cfg.Controllers, cfg.CtrlShards, cfg.Cluster)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fio"
+	"repro/internal/sim"
+)
+
+// TestStandardScenariosNeverHitIOTimeout is the regression test for the
+// QD4 completion-signal stall: the client's poller armed its wakeup
+// AFTER an empty CQ sweep, so a CQE whose MSI fired inside that window
+// (empty read .. WaitSignal) was lost, and with all four slots blocked
+// on full flow control nobody else would poll — the pending command
+// rode out the full 10 s virtual I/O timeout and recovery kicked in. The
+// reproducer was exactly qd=4, 120 measured I/Os on ours-remote (100 or
+// 400 I/Os happened to dodge the interleaving). The timeout path is for
+// FAULT runs; on the standard scenarios any I/O that needs it is a
+// liveness bug, so this fails if even one command times out.
+func TestStandardScenariosNeverHitIOTimeout(t *testing.T) {
+	for _, s := range Scenarios() {
+		for _, qd := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/qd%d", s, qd), func(t *testing.T) {
+				var env *Env
+				cfg := ScenarioConfig{}
+				spec := fio.JobSpec{
+					Name: "timeout-regression", Op: fio.RandRead,
+					QueueDepth: qd, MaxIOs: 120, RangeBlocks: 1 << 16, Seed: 7,
+				}
+				var res *fio.Result
+				err := RunWorkload(s, cfg, func(p *sim.Proc, e *Env) error {
+					env = e
+					var err error
+					res, err = fio.Run(p, e.Queue, spec)
+					return err
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Errors != 0 {
+					t.Fatalf("%d errored I/Os", res.Errors)
+				}
+				if res.IOs != spec.MaxIOs {
+					t.Fatalf("completed %d of %d I/Os", res.IOs, spec.MaxIOs)
+				}
+				if env.Client != nil {
+					if env.Client.TimedOut != 0 {
+						t.Fatalf("%d I/Os hit the timeout path", env.Client.TimedOut)
+					}
+					if n := env.Client.QuarantinedSlots(); n != 0 {
+						t.Fatalf("%d bounce slots quarantined", n)
+					}
+				}
+			})
+		}
+	}
+}

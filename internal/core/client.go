@@ -486,6 +486,13 @@ func (c *Client) poller(p *sim.Proc) {
 		if c.crashed {
 			return
 		}
+		// The CQ signal is edge-triggered: a Set with no waiter is lost.
+		// Capture the set counter before reading the ring so a CQE whose
+		// DMA lands between the (empty) poll and the WaitSignal below is
+		// detected and re-polled instead of sleeping until the I/O
+		// timeout — the QD4 flow-control stall: the unreaped CQE keeps
+		// the CQ occupied and the controller blocked on CQ space.
+		seq := c.cqSignal.Sets()
 		cqe, ok, err := c.view.Poll(p, c.node.Host())
 		if err != nil {
 			if c.closed || c.crashed || !errors.Is(err, ntb.ErrLinkDown) {
@@ -509,7 +516,9 @@ func (c *Client) poller(p *sim.Proc) {
 				p.Sleep(4 * c.params.PollCheckNs)
 				continue
 			}
-			p.WaitSignal(c.cqSignal)
+			if c.cqSignal.Sets() == seq {
+				p.WaitSignal(c.cqSignal)
+			}
 			c.Polls++
 			if c.params.UseInterrupts {
 				p.Sleep(c.params.IRQEntryNs)

@@ -253,10 +253,22 @@ func (d *Driver) createQueue(p *sim.Proc, qid uint16, ctrl *nvme.Controller) (*i
 
 // isr is the interrupt service routine process for one queue.
 func (q *ioQueue) isr(p *sim.Proc) {
+	// The interrupt signal is edge-triggered: a Set with no waiter is
+	// lost. An MSI landing between the sweep's final (empty) ring read
+	// and the WaitSignal below would strand its CQE in the ring until
+	// the next command's interrupt — or forever at QD1. The set counter
+	// is captured immediately before each ring read, so any edge that
+	// fired after the read is detected and triggers a re-sweep instead
+	// of a blocking wait. (The CQE DMA always lands before its MSI, so
+	// an edge observed before the capture means the read saw the CQE.)
+	seq := q.intr.Sets()
 	for {
-		p.WaitSignal(q.intr)
+		if q.intr.Sets() == seq {
+			p.WaitSignal(q.intr)
+		}
 		p.Sleep(q.drv.params.IRQEntryNs)
 		for {
+			seq = q.intr.Sets()
 			cqe, ok, err := q.view.Poll(p, q.drv.host)
 			if err != nil || !ok {
 				break

@@ -20,6 +20,11 @@ type Params struct {
 	MQES uint16
 	// CmdOverheadNs is firmware decode/setup per command.
 	CmdOverheadNs int64
+	// AdminOverheadNs is firmware decode/setup for admin-queue commands
+	// specifically; 0 means "same as CmdOverheadNs". Overlay experiments
+	// scale it independently to measure how much bring-up cost the admin
+	// path contributes (the ROADMAP's admin-queue-sharding question).
+	AdminOverheadNs int64
 	// CplOverheadNs is firmware completion-path cost per command.
 	CplOverheadNs int64
 	// EnableDelayNs is the CC.EN -> CSTS.RDY transition time.
@@ -614,7 +619,11 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 		tr.HopNote(sq.id, cmd.CID, trace.StageCtrlFetch, t0, p.Now(), cross)
 		t0 = p.Now()
 	}
-	p.Sleep(c.params.CmdOverheadNs)
+	decodeNs := c.params.CmdOverheadNs
+	if sq.id == 0 && c.params.AdminOverheadNs > 0 {
+		decodeNs = c.params.AdminOverheadNs
+	}
+	p.Sleep(decodeNs)
 	tr.Hop(sq.id, cmd.CID, trace.StageCtrlDecode, t0, p.Now())
 
 	var status uint16
