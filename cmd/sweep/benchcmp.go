@@ -20,8 +20,28 @@ import (
 func runBenchcmp(oldPath, newPath string, tol float64) {
 	oldRep := readBench(oldPath)
 	newRep := readBench(newPath)
-	var regressions []string
-	var infos []string
+	regressions, infos := compareBench(oldRep, newRep, newPath, tol)
+	fmt.Printf("benchcmp %s -> %s (tolerance %.1f%%)\n", oldPath, newPath, tol*100)
+	for _, m := range infos {
+		fmt.Printf("  info: %s\n", m)
+	}
+	if len(regressions) == 0 {
+		fmt.Println("  OK: no virtual-time regressions")
+		return
+	}
+	for _, m := range regressions {
+		fmt.Printf("  REGRESSION: %s\n", m)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: benchcmp found %d regression(s)\n", len(regressions))
+	os.Exit(1)
+}
+
+// compareBench is the gate itself, separated from file I/O and process
+// exit so the wall-clock-exclusion contract is unit-testable: two
+// reports that differ only in host-environment fields (generated_unix,
+// cpus_online, wall_ns, events_per_sec, ns_per_io, speedup) must
+// produce zero regressions.
+func compareBench(oldRep, newRep *wallclockReport, newPath string, tol float64) (regressions, infos []string) {
 	reg := func(format string, args ...interface{}) {
 		regressions = append(regressions, fmt.Sprintf(format, args...))
 	}
@@ -158,19 +178,7 @@ func runBenchcmp(oldPath, newPath string, tol float64) {
 		}
 	}
 
-	fmt.Printf("benchcmp %s -> %s (tolerance %.1f%%)\n", oldPath, newPath, tol*100)
-	for _, m := range infos {
-		fmt.Printf("  info: %s\n", m)
-	}
-	if len(regressions) == 0 {
-		fmt.Println("  OK: no virtual-time regressions")
-		return
-	}
-	for _, m := range regressions {
-		fmt.Printf("  REGRESSION: %s\n", m)
-	}
-	fmt.Fprintf(os.Stderr, "sweep: benchcmp found %d regression(s)\n", len(regressions))
-	os.Exit(1)
+	return regressions, infos
 }
 
 func relPct(oldV, newV float64) float64 {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchFixture builds a small but fully-populated report: two runs, a
+// scaling point, and the top-level host-environment fields.
+func benchFixture() *wallclockReport {
+	return &wallclockReport{
+		SchemaVersion: benchSchemaVersion,
+		GeneratedUnix: 1_700_000_000,
+		CPUsOnline:    8,
+		Runs: []wallclockRun{
+			{Scenario: "ours-remote", Op: "read", QueueDepth: 4, IOs: 400, Cores: 1,
+				Events: 120_000, WallNs: 5_000_000, VirtualNs: 9_000_000,
+				EventsPerSec: 2.4e7, NsPerIO: 12_500},
+			{Scenario: "nvmeof", Op: "read", QueueDepth: 4, IOs: 400, Cores: 1,
+				Events: 150_000, WallNs: 6_000_000, VirtualNs: 14_000_000,
+				EventsPerSec: 2.5e7, NsPerIO: 15_000},
+		},
+		Scaling: []scalingRun{
+			{Cores: 1, Shards: 4, Hosts: 8, IOs: 200, Events: 80_000,
+				VirtualNs: 4_000_000, WallNs: 3_000_000, EventsPerSec: 2.6e7,
+				Speedup: 1.0, Digest: "fnv1a:abc123"},
+		},
+	}
+}
+
+// TestBenchcmpIgnoresWallClock pins the flake-proofing contract: two
+// reports generated at different wall times on different machines — all
+// host-environment fields differ, every virtual-time fact identical —
+// must compare clean. A timestamp or throughput delta failing CI would
+// make the gate flaky by construction.
+func TestBenchcmpIgnoresWallClock(t *testing.T) {
+	oldRep := benchFixture()
+	newRep := benchFixture()
+	// Everything a different machine at a different time would change.
+	newRep.GeneratedUnix = 1_800_000_000 // report generated later
+	newRep.CPUsOnline = 2                // smaller machine
+	for i := range newRep.Runs {
+		newRep.Runs[i].WallNs *= 7
+		newRep.Runs[i].EventsPerSec /= 7
+		newRep.Runs[i].NsPerIO *= 7
+	}
+	for i := range newRep.Scaling {
+		newRep.Scaling[i].WallNs *= 7
+		newRep.Scaling[i].EventsPerSec /= 7
+		newRep.Scaling[i].Speedup = 0.4
+	}
+
+	regressions, _ := compareBench(oldRep, newRep, "new.json", 0.05)
+	if len(regressions) != 0 {
+		t.Fatalf("wall-clock-only differences flagged as regressions:\n%s",
+			strings.Join(regressions, "\n"))
+	}
+}
+
+// TestBenchcmpGatesVirtualTime is the counter-pin: the same comparison
+// DOES fail when a virtual-time fact drifts beyond tolerance.
+func TestBenchcmpGatesVirtualTime(t *testing.T) {
+	oldRep := benchFixture()
+	newRep := benchFixture()
+	newRep.Runs[0].VirtualNs += newRep.Runs[0].VirtualNs / 2 // +50%
+
+	regressions, _ := compareBench(oldRep, newRep, "new.json", 0.05)
+	if len(regressions) != 1 {
+		t.Fatalf("virtual_ns drift produced %d regressions, want 1: %v",
+			len(regressions), regressions)
+	}
+	if !strings.Contains(regressions[0], "virtual_ns") {
+		t.Errorf("regression does not name virtual_ns: %s", regressions[0])
+	}
+}
+
+// TestBenchcmpMissingRun: a run present in the baseline but absent from
+// the new report is a regression (coverage shrank); new-only runs are
+// fine (schemas grow).
+func TestBenchcmpMissingRun(t *testing.T) {
+	oldRep := benchFixture()
+	newRep := benchFixture()
+	newRep.Runs = newRep.Runs[:1]
+
+	regressions, _ := compareBench(oldRep, newRep, "new.json", 0.05)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "missing") {
+		t.Fatalf("dropped run not flagged: %v", regressions)
+	}
+
+	// The mirror image: extra runs on the new side are not regressions.
+	regressions, _ = compareBench(newRep, oldRep, "old.json", 0.05)
+	if len(regressions) != 0 {
+		t.Fatalf("new-only run flagged: %v", regressions)
+	}
+}

@@ -98,6 +98,8 @@ func main() {
 		qd        = flag.Int("qd", 4, "queue depth for -trace")
 		telOut    = flag.String("telemetry", "", "run the multihost fairness scenario with virtual-time sampling and write deterministic telemetry JSON to this path")
 		faults    = flag.Bool("faults", false, "run the fault/recovery scenario (host crash, manager restart, fabric noise) and write a deterministic JSON report")
+		volumeM   = flag.Bool("volume", false, "run the nexus-volume path-death scenario (mirrored writes over two controllers, link outage, reservation fence, integrity sweep) and write a deterministic JSON report")
+		workers   = flag.Int("workers", 4, "writer processes for -volume")
 		seed      = flag.Int64("seed", 7, "scenario seed for -faults (drives workload and fault plan)")
 		hosts     = flag.Int("hosts", 4, "client hosts for -telemetry")
 		interval  = flag.Int64("interval", 100_000, "telemetry sampling interval in virtual ns")
@@ -181,6 +183,20 @@ func main() {
 			fout = "FAULTS_sim.json"
 		}
 		runFaults(*seed, *hosts, *qd, *ios, *interval, fout)
+		return
+	}
+	if *volumeM {
+		vout := *out
+		if vout == "BENCH_sim.json" { // the -wallclock default; don't clobber it
+			vout = "VOLUME_sim.json"
+		}
+		// -ios defaults to 400 for the latency sweeps; the volume scenario's
+		// per-worker budget of 150 is the scenario default.
+		vios := *ios
+		if vios == 400 {
+			vios = 150
+		}
+		runVolume(*seed, *workers, *qd, vios, *interval, vout)
 		return
 	}
 	if *telOut != "" || *serve != "" {

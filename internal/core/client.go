@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/attr"
 	"repro/internal/iommu"
@@ -50,6 +51,11 @@ var (
 	ErrClosed           = errors.New("core: client closed")
 	ErrIOFailed         = errors.New("core: I/O command failed")
 	ErrIOTimeout        = errors.New("core: I/O command timed out")
+	// ErrReservationConflict is returned when the controller fences a
+	// command with Reservation Conflict: another registrant holds (or this
+	// path lost) the namespace reservation. Never retried — the fence is
+	// the point — and classified fatal for the path (see IsFatal).
+	ErrReservationConflict = errors.New("core: reservation conflict")
 )
 
 // ClientParams tunes the client module. The defaults model the paper's
@@ -107,6 +113,12 @@ type ClientParams struct {
 	// so the abort is best-effort ("not aborted"), but it costs real
 	// admin-queue time and is counted.
 	AbortOnTimeout bool
+	// CloseDrainNs bounds how long Close waits for quarantined slots'
+	// late completions before abandoning them (default 10× IOTimeoutNs:
+	// a late CQE behind a fabric stall can easily exceed the command
+	// timeout itself). Slots still parked at expiry are leaked and
+	// counted in AbandonedSlots.
+	CloseDrainNs int64
 	// HeartbeatNs, when nonzero, starts a heartbeat process that
 	// refreshes this client's session lease at the manager. Required for
 	// a manager running with LeaseNs if the client is to survive the
@@ -163,6 +175,9 @@ func (cp ClientParams) withDefaults() ClientParams {
 	if cp.RetryBackoffNs == 0 {
 		cp.RetryBackoffNs = 100 * sim.Microsecond
 	}
+	if cp.CloseDrainNs == 0 {
+		cp.CloseDrainNs = 10 * cp.IOTimeoutNs
+	}
 	return cp
 }
 
@@ -202,13 +217,24 @@ type Client struct {
 	// quarantine maps an abandoned (timed-out / doorbell-lost) command's
 	// CID to the bounce slot it still owns: the device may yet DMA into
 	// that partition, so the slot is only released when the late
-	// completion drains through the poller.
+	// completion drains through the poller. quarCount mirrors len() so
+	// QuarantinedSlots is safe from scrape goroutines outside the sim loop.
 	quarantine map[uint16]int
-	cqSignal   *sim.Signal
-	hbStop     *sim.Signal
-	unwatch    func()
-	closed     bool
-	crashed    bool
+	quarCount  atomic.Int32
+	// quarDrained fires whenever the quarantine empties; Close waits on it
+	// before tearing down DMA windows (see Close).
+	quarDrained *sim.Signal
+	cqSignal    *sim.Signal
+	hbStop      *sim.Signal
+	hbQuit      bool
+	unwatch     func()
+	closed      bool
+	// pollerStop asks the poller to exit at its next wakeup: set by Close
+	// once the quarantine is drained, just before queue teardown.
+	pollerStop bool
+	// crashed is atomic: Crashed() is wired into telemetry gauges and may
+	// be read from the HTTP scrape goroutine while the sim mutates it.
+	crashed atomic.Bool
 
 	// Reads/Writes/Flushes count completed operations.
 	Reads, Writes, Flushes uint64
@@ -219,11 +245,15 @@ type Client struct {
 	// Recovery counters. TimedOut counts commands abandoned at the I/O
 	// timeout; Retries counts resubmissions of transient failures;
 	// Aborts counts NVMe Aborts issued through the manager;
-	// LateCompletions counts quarantined CIDs whose CQE finally drained.
+	// LateCompletions counts quarantined CIDs whose CQE finally drained;
+	// AbandonedSlots counts quarantined slots whose late completion never
+	// arrived within Close's drain window — deliberately leaked rather
+	// than risk a double release or a DMA into recycled memory.
 	TimedOut        uint64
 	Retries         uint64
 	Aborts          uint64
 	LateCompletions uint64
+	AbandonedSlots  uint64
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
 	// SlotOcc accounts bounce-partition occupancy: slots enter when
@@ -406,6 +436,7 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 			func(pcie.Addr, int) { c.cqSignal.Set() })
 	}
 	c.hbStop = sim.NewSignal(node.Host().Domain().Kernel())
+	c.quarDrained = sim.NewSignal(node.Host().Domain().Kernel())
 	node.Host().Domain().Kernel().Spawn(name+"/poller", c.poller)
 	if params.HeartbeatNs > 0 {
 		node.Host().Domain().Kernel().Spawn(name+"/heartbeat", c.heartbeat)
@@ -413,13 +444,23 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 	return c, nil
 }
 
-// heartbeat refreshes the manager's session lease until Close or Crash.
+// heartbeat refreshes the manager's session lease until Crash or the stop
+// signal. It deliberately keeps beating while Close drains the quarantine
+// (closed is already set then): if the lease expired mid-drain the
+// manager's reaper would tear the queue pair down under the drain wait.
+// Close fires hbStop once the drain is done.
 func (c *Client) heartbeat(p *sim.Proc) {
 	for {
-		if c.closed || c.crashed {
+		if c.crashed.Load() || c.hbQuit {
 			return
 		}
 		c.mgr.Heartbeat(p, c.view.ID)
+		// hbQuit is checked again here: hbStop is edge-triggered, so a Set
+		// fired while this proc was blocked inside the Heartbeat RPC would
+		// be lost and the loop would beat forever.
+		if c.hbQuit || c.crashed.Load() {
+			return
+		}
 		if p.WaitSignalTimeout(c.hbStop, c.params.HeartbeatNs) {
 			return
 		}
@@ -483,7 +524,11 @@ func (c *Client) Placement() SQPlacement { return c.params.Placement }
 // entry latency before draining the CQ.
 func (c *Client) poller(p *sim.Proc) {
 	for {
-		if c.crashed {
+		// The poller outlives Close until the quarantine is drained: it is
+		// the only path that can legally release a quarantined slot, so it
+		// exits on Crash or on Close's explicit stop (set after the drain),
+		// never on the closed flag alone.
+		if c.crashed.Load() || c.pollerStop {
 			return
 		}
 		// The CQ signal is edge-triggered: a Set with no waiter is lost.
@@ -495,7 +540,7 @@ func (c *Client) poller(p *sim.Proc) {
 		seq := c.cqSignal.Sets()
 		cqe, ok, err := c.view.Poll(p, c.node.Host())
 		if err != nil {
-			if c.closed || c.crashed || !errors.Is(err, ntb.ErrLinkDown) {
+			if c.crashed.Load() || c.pollerStop || !errors.Is(err, ntb.ErrLinkDown) {
 				return
 			}
 			// Transient link outage: back off and keep serving — dying here
@@ -508,7 +553,7 @@ func (c *Client) poller(p *sim.Proc) {
 			// consumed before blocking (the controller stalls on a
 			// full-looking CQ otherwise).
 			if err := c.view.FlushCQ(p, c.node.Host()); err != nil {
-				if c.closed || c.crashed || !errors.Is(err, ntb.ErrLinkDown) {
+				if c.crashed.Load() || c.pollerStop || !errors.Is(err, ntb.ErrLinkDown) {
 					return
 				}
 				// The head update is retried on the next sweep; the queue
@@ -535,8 +580,13 @@ func (c *Client) poller(p *sim.Proc) {
 			// The late completion of an abandoned command: only now is its
 			// bounce partition safe to hand to another request.
 			delete(c.quarantine, cqe.CID)
+			c.quarCount.Store(int32(len(c.quarantine)))
 			c.releaseSlot(slot)
 			c.LateCompletions++
+			if len(c.quarantine) == 0 {
+				// Close may be blocked on the drain; let it finish teardown.
+				c.quarDrained.Set()
+			}
 		}
 	}
 }
@@ -554,7 +604,14 @@ func (c *Client) acquireSlot(p *sim.Proc) int {
 	panic("core: slot accounting broken")
 }
 
+// releaseSlot frees a bounce partition. Idempotent: a slot abandoned by
+// Close (counted in AbandonedSlots, map cleared) must not be released a
+// second time by a poller that races the teardown — the semaphore would
+// overcount and two requests could share a partition.
 func (c *Client) releaseSlot(slot int) {
+	if !c.slots[slot] {
+		return
+	}
 	c.slots[slot] = false
 	c.SlotOcc.Exit(c.node.Host().Domain().Kernel().Now())
 	c.slotFree.Release()
@@ -618,7 +675,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	for attempt := 0; ; attempt++ {
 		err := c.ioAttempt(p, opcode, lba, nblk, buf)
 		if err == nil || attempt >= c.params.MaxRetries ||
-			c.closed || c.crashed || !IsTransient(err) {
+			c.closed || c.crashed.Load() || !IsTransient(err) {
 			return err
 		}
 		// Bounded exponential backoff, then resubmit with a fresh CID and
@@ -702,6 +759,10 @@ func (c *Client) ioAttempt(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf 
 	deviceDone := p.Now()
 	if st != nvme.StatusOK {
 		c.params.Tracer.Drop(c.view.ID, cmd.CID)
+		if st == nvme.Status(nvme.SCTGeneric, nvme.SCReservationConflict) {
+			// Fenced by a reservation: fatal for this path, never retried.
+			return fmt.Errorf("%w: status %#x", ErrReservationConflict, st)
+		}
 		return fmt.Errorf("%w: status %#x", ErrIOFailed, st)
 	}
 	if opcode == nvme.IORead {
@@ -829,6 +890,7 @@ func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE, slot int) (uint16, bool, error
 			parked := false
 			if slot >= 0 {
 				c.quarantine[cmd.CID] = slot
+				c.quarCount.Store(int32(len(c.quarantine)))
 				parked = true
 			}
 			return 0, parked, Transient(err)
@@ -850,9 +912,10 @@ func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE, slot int) (uint16, bool, error
 		parked := false
 		if slot >= 0 {
 			c.quarantine[cmd.CID] = slot
+			c.quarCount.Store(int32(len(c.quarantine)))
 			parked = true
 		}
-		if c.params.AbortOnTimeout && !c.closed && !c.crashed {
+		if c.params.AbortOnTimeout && !c.closed && !c.crashed.Load() {
 			if err := c.mgr.AbortCommand(p, c.view.ID, cmd.CID); err == nil {
 				c.Aborts++
 			}
@@ -870,10 +933,10 @@ func (c *Client) exec(p *sim.Proc, cmd *nvme.SQE, slot int) (uint16, bool, error
 // and the reaper tears the queue pair down). Callable from timer
 // callbacks; it never blocks.
 func (c *Client) Crash() {
-	if c.closed || c.crashed {
+	if c.closed || c.crashed.Load() {
 		return
 	}
-	c.crashed = true
+	c.crashed.Store(true)
 	c.closed = true
 	c.unwatch()
 	c.hbStop.Set()
@@ -881,23 +944,53 @@ func (c *Client) Crash() {
 	c.cqSignal.Set()
 }
 
-// Crashed reports whether Crash was called.
-func (c *Client) Crashed() bool { return c.crashed }
+// Crashed reports whether Crash was called. Safe from any goroutine: the
+// telemetry registry samples it from the HTTP scrape path while the sim
+// loop may be mutating the client.
+func (c *Client) Crashed() bool { return c.crashed.Load() }
 
 // QuarantinedSlots returns how many bounce slots are parked awaiting a
-// late completion.
-func (c *Client) QuarantinedSlots() int { return len(c.quarantine) }
+// late completion. Reads an atomic mirror of the quarantine map's size, so
+// it is safe from scrape goroutines outside the simulation loop.
+func (c *Client) QuarantinedSlots() int { return int(c.quarCount.Load()) }
 
 // Close releases the queue pair, DMA windows and device reference. If
 // the manager already reclaimed the queue pair (this client's lease
 // expired), Close reports ErrQueueReclaimed: everything it would release
 // is already gone.
+//
+// If slots are quarantined (a timed-out command's late completion still
+// owed), Close first waits — bounded by CloseDrainNs — for the poller to
+// drain them. Freeing the bounce segment with a command still
+// in flight would let the device DMA into recycled memory, and a poller
+// racing the teardown could release a slot Close already accounted for
+// (the late-CQE-after-Close double release). Slots still parked when the
+// window expires are leaked on purpose and counted in AbandonedSlots.
 func (c *Client) Close(p *sim.Proc) error {
 	if c.closed {
 		return ErrClosed
 	}
 	c.closed = true
+	for len(c.quarantine) > 0 {
+		// The poller and heartbeat both keep running during the drain: the
+		// poller is the only legal path to release a quarantined slot, and
+		// the heartbeat keeps the lease alive so the manager's reaper does
+		// not tear down the queue pair underneath the wait.
+		if !p.WaitSignalTimeout(c.quarDrained, c.params.CloseDrainNs) {
+			// Drain window expired: abandon the stragglers. The map is
+			// cleared so a late CQE arriving between here and pollerStop
+			// below finds nothing to release (releaseSlot is idempotent
+			// regardless).
+			c.AbandonedSlots += uint64(len(c.quarantine))
+			c.quarantine = make(map[uint16]int)
+			c.quarCount.Store(0)
+			break
+		}
+	}
+	c.pollerStop = true
+	c.cqSignal.Set() // wake the poller so it observes the stop and exits
 	c.unwatch()
+	c.hbQuit = true
 	c.hbStop.Set()
 	if err := c.mgr.ReleaseQueuePair(p, c.view.ID); err != nil {
 		return err

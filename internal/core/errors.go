@@ -72,8 +72,12 @@ func IsTransient(err error) bool {
 }
 
 // IsFatal reports whether err means the resource is permanently gone.
+// A reservation conflict is fatal for the path that hit it: the fence is
+// deliberate and a retry can only conflict again until an administrative
+// action (preempt, release) changes the reservation state.
 func IsFatal(err error) bool {
 	return errors.Is(err, ErrFatal) ||
 		errors.Is(err, ErrQueueReclaimed) ||
-		errors.Is(err, ErrClosed)
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrReservationConflict)
 }

@@ -3,6 +3,9 @@ package core_test
 import (
 	"bytes"
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cluster"
@@ -266,6 +269,131 @@ func TestQueueDeleteUnderConcurrentTraffic(t *testing.T) {
 			t.Errorf("B close: %v", err)
 		}
 	})
+}
+
+// TestCloseWhileQuarantined is the late-CQE-after-Close regression test:
+// closing a client while a timed-out command's slot is quarantined must
+// NOT free the bounce segment out from under the in-flight command. Close
+// has to wait for the poller to drain the late completion — a teardown
+// that raced it would either double-release the slot or let the device
+// DMA into recycled memory (and the controller would go fatal writing a
+// CQE into a freed segment).
+func TestCloseWhileQuarantined(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	r.start(t, func(p *sim.Proc) {
+		cl, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{QueueDepth: 2, IOTimeoutNs: 50 * sim.Microsecond})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		r.c.Hosts[0].Adapter.InjectStall(100*sim.Microsecond, 120*sim.Microsecond)
+		buf := bytes.Repeat([]byte{0xEE}, 512)
+		if err := cl.WriteBlocks(p, 5, 1, buf); !errors.Is(err, core.ErrIOTimeout) {
+			t.Fatalf("stalled write returned %v, want ErrIOTimeout", err)
+		}
+		if got := cl.QuarantinedSlots(); got != 1 {
+			t.Fatalf("quarantined slots = %d, want 1", got)
+		}
+		// Close immediately, with the late CQE still owed.
+		before := p.Now()
+		if err := cl.Close(p); err != nil {
+			t.Fatalf("close while quarantined: %v", err)
+		}
+		if p.Now() == before {
+			t.Error("close did not wait for the quarantine drain")
+		}
+		if cl.LateCompletions != 1 {
+			t.Errorf("LateCompletions = %d, want 1", cl.LateCompletions)
+		}
+		if got := cl.QuarantinedSlots(); got != 0 {
+			t.Errorf("quarantined slots = %d after close, want 0", got)
+		}
+		if cl.AbandonedSlots != 0 {
+			t.Errorf("AbandonedSlots = %d, want 0 (drain completed)", cl.AbandonedSlots)
+		}
+		if r.ctrl.Fatal() {
+			t.Fatal("controller went fatal: teardown raced the in-flight command")
+		}
+		// The queue pair tore down cleanly: a fresh client gets the QID and
+		// the late write's data actually landed before the queues died.
+		cl2, err := core.NewClient(p, "dnvme1b", r.svc, r.c.Hosts[1].Node, r.mgr, core.ClientParams{})
+		if err != nil {
+			t.Fatalf("client after close: %v", err)
+		}
+		got := make([]byte, 512)
+		if err := cl2.ReadBlocks(p, 5, 1, got); err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !bytes.Equal(got, buf) {
+			t.Error("quarantined write lost despite drained close")
+		}
+		if err := cl2.Close(p); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+	})
+}
+
+// TestAccessorScrapeStorm hammers the accessors the telemetry HTTP scrape
+// path reads — Crashed and QuarantinedSlots — from real OS goroutines
+// while the simulation mutates the client (timeouts parking slots, the
+// poller draining them, Close tearing down). Run under -race this proves
+// the accessors are synchronization-safe outside the sim loop.
+func TestAccessorScrapeStorm(t *testing.T) {
+	r := newRig(t, 2, cluster.NVMeConfig{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes atomic.Uint64
+	r.start(t, func(p *sim.Proc) {
+		cl, err := core.NewClient(p, "dnvme1", r.svc, r.c.Hosts[1].Node, r.mgr,
+			core.ClientParams{QueueDepth: 2, IOTimeoutNs: 50 * sim.Microsecond})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Scrape before checking stop: every goroutine samples the
+				// accessors at least once even if it is first scheduled
+				// after the sim run finished.
+				for {
+					_ = cl.Crashed()
+					if n := cl.QuarantinedSlots(); n < 0 || n > 1 {
+						t.Errorf("QuarantinedSlots = %d, want 0..1", n)
+						return
+					}
+					scrapes.Add(1)
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					runtime.Gosched()
+				}
+			}()
+		}
+		// Traffic that exercises every quarantine transition under the
+		// scrapers: timeout parks a slot, the late CQE drains it, the
+		// close-drain path runs last.
+		r.c.Hosts[0].Adapter.InjectStall(100*sim.Microsecond, 120*sim.Microsecond)
+		buf := make([]byte, 512)
+		if err := cl.WriteBlocks(p, 1, 1, buf); !errors.Is(err, core.ErrIOTimeout) {
+			t.Fatalf("stalled write returned %v, want ErrIOTimeout", err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := cl.WriteBlocks(p, uint64(i), 1, buf); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		if err := cl.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if scrapes.Load() == 0 {
+		t.Error("scrape goroutines never ran")
+	}
 }
 
 // TestManagerRestartGrace: a manager restart delays RPCs rather than

@@ -123,6 +123,13 @@ func (c *Controller) adminDeleteSQ(cmd *SQE) uint16 {
 	if c.cqs[cqid] != nil {
 		c.cqs[cqid].sqCount--
 	}
+	// Registrant identity follows the queue pair, so a deleted queue's
+	// registration dies with it — a later client granted the same qid must
+	// not inherit its reservation rights.
+	if _, ok := c.resv.regs[qid]; ok {
+		c.resvDropRegistrant(qid)
+		c.resv.gen++
+	}
 	return StatusOK
 }
 
@@ -204,6 +211,12 @@ func (c *Controller) execIO(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 	if cmd.NSID != 1 {
 		return Status(SCTGeneric, SCInvalidNS)
 	}
+	// The reservation fence runs before any medium or data-transfer work:
+	// a fenced command completes with Reservation Conflict and never
+	// reaches the medium.
+	if st := c.resvCheck(qid, cmd.Opcode); st != StatusOK {
+		return st
+	}
 	switch cmd.Opcode {
 	case IORead:
 		return c.ioRead(p, qid, cmd)
@@ -221,6 +234,14 @@ func (c *Controller) execIO(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
 		return c.ioWriteZeroes(p, cmd)
 	case IODSM:
 		return c.ioDSM(p, cmd)
+	case IOResvRegister:
+		return c.ioResvRegister(p, qid, cmd)
+	case IOResvAcquire:
+		return c.ioResvAcquire(p, qid, cmd)
+	case IOResvRelease:
+		return c.ioResvRelease(p, qid, cmd)
+	case IOResvReport:
+		return c.ioResvReport(p, cmd)
 	default:
 		return Status(SCTGeneric, SCInvalidOpcode)
 	}

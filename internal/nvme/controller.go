@@ -2,9 +2,11 @@ package nvme
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/ntb"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -40,6 +42,13 @@ type Params struct {
 	// (SRAM-class; replaces a fabric DMA round trip for queues placed
 	// there).
 	CMBAccessNs int64
+	// LinkRetryNs bounds how long a command fetch or CQE post is retried
+	// when the fabric reports a link outage before the controller
+	// declares itself fatal (CSTS.CFS). An NTB link flap shorter than
+	// this window is ridden out instead of bricking the device for every
+	// attached host — the behavior a multi-path volume layer depends on.
+	// Default 2 ms.
+	LinkRetryNs int64
 }
 
 // DefaultParams returns the P4800X-class controller calibration.
@@ -77,6 +86,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.CMBAccessNs == 0 {
 		p.CMBAccessNs = 60
+	}
+	if p.LinkRetryNs == 0 {
+		p.LinkRetryNs = 2 * sim.Millisecond
 	}
 	return p
 }
@@ -160,6 +172,17 @@ type Stats struct {
 	// (InjectDropCQEs): the command executed but its CQE never reached
 	// the host, which must recover by timeout + retry.
 	CQEsDropped uint64
+	// LinkRetries counts fetch/CQE DMAs re-issued after a fabric link
+	// outage (see Params.LinkRetryNs).
+	LinkRetries uint64
+	// Reservation counters: successful Register/Acquire/Release commands,
+	// preemptions, and commands completed with Reservation Conflict (each
+	// of those was fenced before touching the medium).
+	ResvRegisters uint64
+	ResvAcquires  uint64
+	ResvReleases  uint64
+	ResvPreempts  uint64
+	ResvConflicts uint64
 }
 
 // Controller is a simulated single-function NVMe controller. Create it
@@ -215,6 +238,9 @@ type Controller struct {
 	// injection, see InjectDropCQEs).
 	dropCQE []int
 
+	// resv is the namespace's persistent-reservation state (one namespace).
+	resv *resvState
+
 	// tracer records device-side hops (fetch, decode, medium, transfer,
 	// completion post) on the span keyed by (SQ ID, CID). Nil when
 	// tracing is off.
@@ -238,6 +264,7 @@ func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Me
 		msi:     make([]MSIEntry, p.MaxQueuePairs),
 		qstats:  make([]QueueStats, p.MaxQueuePairs),
 		dropCQE: make([]int, p.MaxQueuePairs),
+		resv:    newResvState(),
 		ident: IdentifyController{
 			VID:      0x8086,
 			SSVID:    0x8086,
@@ -245,7 +272,7 @@ func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Me
 			Model:    "Simulated Optane P4800X",
 			Firmware: "E2010600",
 			OACS:     OACSGetLogPage,
-			ONCS:     ONCSCompare | ONCSWriteZeroes | ONCSDSM,
+			ONCS:     ONCSCompare | ONCSWriteZeroes | ONCSDSM | ONCSReservations,
 			NN:       1,
 		},
 	}
@@ -444,13 +471,16 @@ func (c *Controller) enable() {
 	c.enableSig.Set()
 }
 
-// reset clears controller state (CC.EN falling edge).
+// reset clears controller state (CC.EN falling edge). Reservations do not
+// persist through a controller reset (no Persist Through Power Loss
+// support is advertised).
 func (c *Controller) reset() {
 	c.csts &^= CSTSReady | CSTSCFS
 	for i := range c.sqs {
 		c.sqs[i] = nil
 		c.cqs[i] = nil
 	}
+	c.resv = newResvState()
 }
 
 func (c *Controller) doorbellWrite(off uint64, data []byte) {
@@ -593,6 +623,31 @@ func (c *Controller) dmaWrite(p *sim.Proc, addr pcie.Addr, data []byte) error {
 	return c.dom.MemWrite(p, c.node, addr, data)
 }
 
+// dmaRetry runs op, riding out fabric link outages with bounded
+// exponential backoff (Params.LinkRetryNs): a transient NTB flap must
+// not brick the controller for every attached host. Any other error, or
+// an outage outlasting the window, is returned for the caller to treat
+// as fatal.
+func (c *Controller) dmaRetry(p *sim.Proc, op func() error) error {
+	err := op()
+	if err == nil || !errors.Is(err, ntb.ErrLinkDown) {
+		return err
+	}
+	deadline := p.Now() + sim.Time(c.params.LinkRetryNs)
+	backoff := int64(sim.Microsecond)
+	for {
+		c.Stats.LinkRetries++
+		p.Sleep(backoff)
+		if backoff < 16*sim.Microsecond {
+			backoff *= 2
+		}
+		err = op()
+		if err == nil || !errors.Is(err, ntb.ErrLinkDown) || p.Now() >= deadline {
+			return err
+		}
+	}
+}
+
 // execute fetches and runs the command in SQ slot, then posts a completion.
 func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 	c.BusyOcc.Enter(p.Now())
@@ -604,7 +659,9 @@ func (c *Controller) execute(p *sim.Proc, sq *subQueue, slot int) {
 	tr := c.tracer
 	t0 := p.Now()
 	buf := make([]byte, SQESize)
-	if err := c.dmaRead(p, sq.base+pcie.Addr(slot*SQESize), buf); err != nil {
+	if err := c.dmaRetry(p, func() error {
+		return c.dmaRead(p, sq.base+pcie.Addr(slot*SQESize), buf)
+	}); err != nil {
 		c.csts |= CSTSCFS
 		return
 	}
@@ -674,7 +731,9 @@ func (c *Controller) complete(p *sim.Proc, sq *subQueue, cid uint16, dw0 uint32,
 		cqe.StatusPhase |= 1
 	}
 	p.Sleep(c.params.CplOverheadNs)
-	if err := c.dmaWrite(p, cq.base+pcie.Addr(idx*CQESize), cqe.Marshal()); err != nil {
+	if err := c.dmaRetry(p, func() error {
+		return c.dmaWrite(p, cq.base+pcie.Addr(idx*CQESize), cqe.Marshal())
+	}); err != nil {
 		c.csts |= CSTSCFS
 		return
 	}

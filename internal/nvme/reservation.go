@@ -1,0 +1,281 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Persistent reservations (§6.11–6.14, §4.6) on the controller's single
+// namespace. The sharing unit in this model is the queue pair — each host
+// owns its own SQ on the shared controller — so registrants are keyed by
+// SQ ID: CNTLID in the report carries the registrant's qid. Host identity
+// rides in CDW15 of the Register command (a stand-in for the spec's Host
+// Identifier feature, which is per-controller and does not fit the
+// one-controller-many-hosts sharing model here).
+//
+// The volume layer uses this machinery to fence a failed path: after
+// failover the survivor preempts the dead path's key, and any write the
+// stale client still issues completes with Reservation Conflict before it
+// touches the medium.
+
+// resvState is the per-namespace reservation state (one namespace here).
+type resvState struct {
+	gen    uint32
+	rtype  uint8             // held reservation type; 0 = none
+	holder uint16            // holder's SQ ID, valid when rtype != 0
+	regs   map[uint16]uint64 // qid -> registered key
+	hosts  map[uint16]uint64 // qid -> host identity (report only)
+}
+
+func newResvState() *resvState {
+	return &resvState{
+		regs:  make(map[uint16]uint64),
+		hosts: make(map[uint16]uint64),
+	}
+}
+
+// resvWriteOp reports whether opcode modifies the medium (fenced under
+// write-exclusive types).
+func resvWriteOp(opcode uint8) bool {
+	switch opcode {
+	case IOWrite, IOWriteZeroes, IODSM, IOFlush:
+		return true
+	}
+	return false
+}
+
+// resvReadOp reports whether opcode reads the medium (fenced only under
+// exclusive-access types).
+func resvReadOp(opcode uint8) bool {
+	return opcode == IORead || opcode == IOCompare
+}
+
+// resvCheck gates a media-touching command from SQ qid against the held
+// reservation, returning Reservation Conflict if it is fenced. It runs
+// before the command touches the medium, so a fenced write never lands.
+func (c *Controller) resvCheck(qid uint16, opcode uint8) uint16 {
+	r := c.resv
+	if r.rtype == 0 || qid == r.holder {
+		return StatusOK
+	}
+	write := resvWriteOp(opcode)
+	read := resvReadOp(opcode)
+	if !write && !read {
+		return StatusOK // reservation commands police themselves
+	}
+	_, registered := r.regs[qid]
+	conflict := false
+	switch r.rtype {
+	case ResvWriteExclusive:
+		conflict = write
+	case ResvExclusiveAccess:
+		conflict = write || read
+	case ResvWriteExclusiveRegOnly, ResvWriteExclusiveAllReg:
+		conflict = write && !registered
+	case ResvExclusiveAccessRegOnly, ResvExclusiveAccessAllReg:
+		conflict = !registered
+	}
+	if conflict {
+		c.Stats.ResvConflicts++
+		return Status(SCTGeneric, SCReservationConflict)
+	}
+	return StatusOK
+}
+
+// ioResvRegister handles Reservation Register: data is 16 bytes, CRKEY
+// then NRKEY (little endian).
+func (c *Controller) ioResvRegister(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
+	buf := make([]byte, 16)
+	if st := c.readPRP(p, cmd.PRP1, cmd.PRP2, buf); st != StatusOK {
+		return st
+	}
+	crkey := binary.LittleEndian.Uint64(buf[0:])
+	nrkey := binary.LittleEndian.Uint64(buf[8:])
+	iekey := cmd.CDW10&ResvIEKEY != 0
+	r := c.resv
+	cur, registered := r.regs[qid]
+	switch cmd.CDW10 & 0x7 {
+	case ResvRegisterKey:
+		if registered && cur != nrkey {
+			c.Stats.ResvConflicts++
+			return Status(SCTGeneric, SCReservationConflict)
+		}
+		r.regs[qid] = nrkey
+		r.hosts[qid] = uint64(cmd.CDW15)
+	case ResvUnregisterKey:
+		if !registered || (!iekey && cur != crkey) {
+			c.Stats.ResvConflicts++
+			return Status(SCTGeneric, SCReservationConflict)
+		}
+		c.resvDropRegistrant(qid)
+	case ResvReplaceKey:
+		if !iekey && (!registered || cur != crkey) {
+			c.Stats.ResvConflicts++
+			return Status(SCTGeneric, SCReservationConflict)
+		}
+		r.regs[qid] = nrkey
+		r.hosts[qid] = uint64(cmd.CDW15)
+	default:
+		return Status(SCTGeneric, SCInvalidField)
+	}
+	r.gen++
+	c.Stats.ResvRegisters++
+	return StatusOK
+}
+
+// resvDropRegistrant removes qid's registration; if it held the
+// reservation, the reservation is released with it.
+func (c *Controller) resvDropRegistrant(qid uint16) {
+	r := c.resv
+	delete(r.regs, qid)
+	delete(r.hosts, qid)
+	if r.rtype != 0 && r.holder == qid {
+		r.rtype = 0
+		r.holder = 0
+	}
+}
+
+// ioResvAcquire handles Reservation Acquire: data is 16 bytes, CRKEY then
+// PRKEY. RACQA selects acquire / preempt / preempt-and-abort; RTYPE rides
+// in CDW10 bits 15:8.
+func (c *Controller) ioResvAcquire(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
+	buf := make([]byte, 16)
+	if st := c.readPRP(p, cmd.PRP1, cmd.PRP2, buf); st != StatusOK {
+		return st
+	}
+	crkey := binary.LittleEndian.Uint64(buf[0:])
+	prkey := binary.LittleEndian.Uint64(buf[8:])
+	rtype := uint8(cmd.CDW10 >> ResvRTYPEShift)
+	if rtype < ResvWriteExclusive || rtype > ResvExclusiveAccessAllReg {
+		return Status(SCTGeneric, SCInvalidField)
+	}
+	r := c.resv
+	cur, registered := r.regs[qid]
+	if !registered || cur != crkey {
+		c.Stats.ResvConflicts++
+		return Status(SCTGeneric, SCReservationConflict)
+	}
+	switch cmd.CDW10 & 0x7 {
+	case ResvAcquireAct:
+		if r.rtype != 0 && (r.holder != qid || r.rtype != rtype) {
+			c.Stats.ResvConflicts++
+			return Status(SCTGeneric, SCReservationConflict)
+		}
+		r.rtype = rtype
+		r.holder = qid
+		c.Stats.ResvAcquires++
+		return StatusOK
+	case ResvPreempt, ResvPreemptAndAbort:
+		// Remove every registrant whose key matches PRKEY (the victim set),
+		// in ascending qid order for determinism. Preempt-and-abort would
+		// additionally abort the victims' in-flight commands; this
+		// controller runs commands to completion, so the execution-time
+		// fence check is what blocks them — exactly the stale-writer
+		// guarantee the volume layer needs.
+		var victims []uint16
+		for vq, key := range r.regs {
+			if key == prkey && vq != qid {
+				victims = append(victims, vq)
+			}
+		}
+		if len(victims) == 0 {
+			c.Stats.ResvConflicts++
+			return Status(SCTGeneric, SCReservationConflict)
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+		holderPreempted := false
+		for _, vq := range victims {
+			if r.rtype != 0 && r.holder == vq {
+				holderPreempted = true
+			}
+			c.resvDropRegistrant(vq)
+		}
+		// The requester obtains the reservation only when it preempted the
+		// holder (§6.11); preempting mere registrations leaves any held
+		// reservation in place.
+		if holderPreempted {
+			r.rtype = rtype
+			r.holder = qid
+		}
+		r.gen++
+		c.Stats.ResvPreempts++
+		return StatusOK
+	default:
+		return Status(SCTGeneric, SCInvalidField)
+	}
+}
+
+// ioResvRelease handles Reservation Release: data is 8 bytes of CRKEY.
+// RRELA selects release or clear.
+func (c *Controller) ioResvRelease(p *sim.Proc, qid uint16, cmd *SQE) uint16 {
+	buf := make([]byte, 8)
+	if st := c.readPRP(p, cmd.PRP1, cmd.PRP2, buf); st != StatusOK {
+		return st
+	}
+	crkey := binary.LittleEndian.Uint64(buf)
+	rtype := uint8(cmd.CDW10 >> ResvRTYPEShift)
+	r := c.resv
+	cur, registered := r.regs[qid]
+	if !registered || cur != crkey {
+		c.Stats.ResvConflicts++
+		return Status(SCTGeneric, SCReservationConflict)
+	}
+	switch cmd.CDW10 & 0x7 {
+	case ResvReleaseAct:
+		if r.rtype == 0 || r.holder != qid {
+			return StatusOK // not the holder: success, no effect (§6.14)
+		}
+		if rtype != r.rtype {
+			return Status(SCTGeneric, SCInvalidField)
+		}
+		r.rtype = 0
+		r.holder = 0
+		c.Stats.ResvReleases++
+		return StatusOK
+	case ResvClearAct:
+		r.rtype = 0
+		r.holder = 0
+		r.regs = make(map[uint16]uint64)
+		r.hosts = make(map[uint16]uint64)
+		r.gen++
+		c.Stats.ResvReleases++
+		return StatusOK
+	default:
+		return Status(SCTGeneric, SCInvalidField)
+	}
+}
+
+// ioResvReport handles Reservation Report: NUMD (0-based dwords) in
+// CDW10 bounds how much of the status structure is returned.
+func (c *Controller) ioResvReport(p *sim.Proc, cmd *SQE) uint16 {
+	numd := int(cmd.CDW10) + 1
+	n := numd * 4
+	full := MarshalResvStatus(c.ResvStatus())
+	if n > len(full) {
+		n = len(full)
+	}
+	return c.writePRP(p, cmd.PRP1, cmd.PRP2, full[:n])
+}
+
+// ResvStatus snapshots the namespace's reservation state in report form,
+// registrants in ascending qid order. Exposed for tests and telemetry.
+func (c *Controller) ResvStatus() ResvStatus {
+	r := c.resv
+	s := ResvStatus{Gen: r.gen, RType: r.rtype}
+	qids := make([]uint16, 0, len(r.regs))
+	for q := range r.regs {
+		qids = append(qids, q)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, q := range qids {
+		s.Regs = append(s.Regs, ResvRegistrant{
+			CNTLID: q,
+			Holder: r.rtype != 0 && r.holder == q,
+			HostID: r.hosts[q],
+			RKey:   r.regs[q],
+		})
+	}
+	return s
+}

@@ -1,0 +1,397 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// ioQueueN creates I/O queue pair qid in local memory — the two-registrant
+// rig for reservation tests, where each queue models a different host's
+// path to the shared controller.
+func (r *rig) ioQueueN(t *testing.T, p *sim.Proc, a *AdminClient, qid uint16, depth int) *QueueView {
+	t.Helper()
+	sq, err := r.host.Alloc(uint64(depth*SQESize), PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := r.host.Alloc(uint64(depth*CQESize), PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateQueuePair(p, qid, depth, sq, cq, false, 0); err != nil {
+		t.Fatalf("create qp %d: %v", qid, err)
+	}
+	return NewQueueView(qid, depth, sq, cq,
+		rigBARBase+SQTailDoorbell(qid, a.DSTRD), rigBARBase+CQHeadDoorbell(qid, a.DSTRD))
+}
+
+// resvExec stages two 8-byte key values into buf and executes a
+// reservation command from q, returning the completion.
+func resvExec(t *testing.T, p *sim.Proc, r *rig, q *QueueView, buf pcie.Addr,
+	opcode uint8, cdw10, cdw15 uint32, d0, d1 uint64) CQE {
+	t.Helper()
+	data := make([]byte, 16)
+	binary.LittleEndian.PutUint64(data[0:], d0)
+	binary.LittleEndian.PutUint64(data[8:], d1)
+	if err := r.host.Write(p, buf, data); err != nil {
+		t.Fatalf("stage keys: %v", err)
+	}
+	cmd := SQE{Opcode: opcode, NSID: 1, PRP1: uint64(buf), CDW10: cdw10, CDW15: cdw15}
+	return execIO(t, p, r.host, q, &cmd)
+}
+
+// resvOp is one scripted step of a conformance case: a reservation or I/O
+// command from one of two queues with its expected status code.
+type resvOp struct {
+	q      int // 1 or 2
+	opcode uint8
+	cdw10  uint32
+	d0, d1 uint64 // staged key data (CRKEY / NRKEY-or-PRKEY)
+	wantSC uint8
+}
+
+func acquireCDW10(action int, rtype uint8) uint32 {
+	return uint32(action) | uint32(rtype)<<ResvRTYPEShift
+}
+
+// TestReservationConformance scripts the reservation state machine per
+// spec semantics: register → acquire → foreign-write conflict, release,
+// registrants-only types, preempt-and-abort, unregister-releases-holder,
+// wrong-key rejection, and clear.
+func TestReservationConformance(t *testing.T) {
+	const (
+		k1 = 0xAAA1
+		k2 = 0xBBB2
+		k3 = 0xCCC3
+	)
+	write := resvOp{opcode: IOWrite, cdw10: 0} // 1 block at LBA 0 (CDW12 zero)
+	read := resvOp{opcode: IORead, cdw10: 0}
+	cases := []struct {
+		name  string
+		steps []resvOp
+	}{
+		{
+			name: "register-acquire-foreign-write-conflict",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k1},
+				{q: 2, opcode: write.opcode, wantSC: SCReservationConflict},
+				{q: 2, opcode: read.opcode}, // WE still allows foreign reads
+				{q: 1, opcode: write.opcode},
+			},
+		},
+		{
+			name: "exclusive-access-fences-reads-too",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvExclusiveAccess), d0: k1},
+				{q: 2, opcode: read.opcode, wantSC: SCReservationConflict},
+				{q: 2, opcode: write.opcode, wantSC: SCReservationConflict},
+				{q: 1, opcode: read.opcode},
+			},
+		},
+		{
+			name: "release-reopens-the-namespace",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k1},
+				{q: 2, opcode: write.opcode, wantSC: SCReservationConflict},
+				{q: 1, opcode: IOResvRelease, cdw10: acquireCDW10(ResvReleaseAct, ResvWriteExclusive), d0: k1},
+				{q: 2, opcode: write.opcode},
+			},
+		},
+		{
+			name: "registrants-only-admits-registered-writers",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusiveRegOnly), d0: k1},
+				{q: 2, opcode: write.opcode, wantSC: SCReservationConflict},
+				{q: 2, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k2},
+				{q: 2, opcode: write.opcode},
+			},
+		},
+		{
+			name: "preempt-and-abort-fences-the-stale-holder",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k1},
+				{q: 2, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k2},
+				// q2 takes over: preempt-and-abort removes q1's registration
+				// and transfers the reservation.
+				{q: 2, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvPreemptAndAbort, ResvWriteExclusive), d0: k2, d1: k1},
+				{q: 1, opcode: write.opcode, wantSC: SCReservationConflict},
+				{q: 2, opcode: write.opcode},
+				// Re-registering does not restore write rights under WE.
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: write.opcode, wantSC: SCReservationConflict},
+			},
+		},
+		{
+			name: "unregister-releases-a-held-reservation",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k1},
+				{q: 1, opcode: IOResvRegister, cdw10: ResvUnregisterKey, d0: k1},
+				{q: 2, opcode: write.opcode},
+			},
+		},
+		{
+			name: "wrong-key-operations-conflict",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k3, wantSC: SCReservationConflict},
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k3, wantSC: SCReservationConflict},
+				{q: 2, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k2, wantSC: SCReservationConflict},
+				{q: 1, opcode: IOResvRegister, cdw10: ResvReplaceKey, d0: k1, d1: k3},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k3},
+			},
+		},
+		{
+			name: "preempt-without-matching-victim-conflicts",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 2, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k2},
+				{q: 2, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvPreempt, ResvWriteExclusive), d0: k2, d1: k3, wantSC: SCReservationConflict},
+			},
+		},
+		{
+			name: "clear-drops-reservation-and-registrations",
+			steps: []resvOp{
+				{q: 1, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k1},
+				{q: 2, opcode: IOResvRegister, cdw10: ResvRegisterKey, d1: k2},
+				{q: 1, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvExclusiveAccessRegOnly), d0: k1},
+				{q: 1, opcode: IOResvRelease, cdw10: ResvClearAct, d0: k1},
+				// Everyone is unregistered: acquire without register conflicts.
+				{q: 2, opcode: IOResvAcquire, cdw10: acquireCDW10(ResvAcquireAct, ResvWriteExclusive), d0: k2, wantSC: SCReservationConflict},
+				{q: 2, opcode: write.opcode},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t)
+			r.run(t, func(p *sim.Proc) {
+				a := r.enable(t, p)
+				queues := map[int]*QueueView{
+					1: r.ioQueueN(t, p, a, 1, 8),
+					2: r.ioQueueN(t, p, a, 2, 8),
+				}
+				buf, err := r.host.Alloc(PageSize, PageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, step := range tc.steps {
+					var cqe CQE
+					switch step.opcode {
+					case IOWrite, IORead:
+						data, err := r.host.Alloc(512, PageSize)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cmd := SQE{Opcode: step.opcode, NSID: 1, PRP1: uint64(data), CDW10: step.cdw10}
+						cqe = execIO(t, p, r.host, queues[step.q], &cmd)
+					default:
+						cqe = resvExec(t, p, r, queues[step.q], buf,
+							step.opcode, step.cdw10, 0, step.d0, step.d1)
+					}
+					sct, sc := cqe.StatusCode()
+					if sct != SCTGeneric || sc != step.wantSC {
+						t.Fatalf("step %d (q%d op %#x): status (%d,%#x), want (0,%#x)",
+							i, step.q, step.opcode, sct, sc, step.wantSC)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestReservationFencedWriteNeverReachesMedium pins the acceptance
+// criterion directly: a fenced writer's data must not land, byte-checked
+// against the medium.
+func TestReservationFencedWriteNeverReachesMedium(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q1 := r.ioQueueN(t, p, a, 1, 8)
+		q2 := r.ioQueueN(t, p, a, 2, 8)
+		keys, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// q1 writes a known pattern, then acquires Write Exclusive.
+		data, err := r.host.Alloc(512, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 512)
+		for i := range want {
+			want[i] = 0x5A
+		}
+		if err := r.host.Write(p, data, want); err != nil {
+			t.Fatal(err)
+		}
+		cmd := SQE{Opcode: IOWrite, NSID: 1, PRP1: uint64(data), CDW10: 7}
+		if cqe := execIO(t, p, r.host, q1, &cmd); !cqe.OK() {
+			t.Fatalf("baseline write: %#x", cqe.Status())
+		}
+		resvExec(t, p, r, q1, keys, IOResvRegister, ResvRegisterKey, 0, 0, 0xF1)
+		resvExec(t, p, r, q1, keys, IOResvAcquire, acquireCDW10(ResvAcquireAct, ResvWriteExclusive), 0, 0xF1, 0)
+		// q2's overwrite attempt is fenced...
+		evil, err := r.host.Alloc(512, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poison := make([]byte, 512)
+		for i := range poison {
+			poison[i] = 0xFF
+		}
+		if err := r.host.Write(p, evil, poison); err != nil {
+			t.Fatal(err)
+		}
+		wcmd := SQE{Opcode: IOWrite, NSID: 1, PRP1: uint64(evil), CDW10: 7}
+		cqe := execIO(t, p, r.host, q2, &wcmd)
+		if _, sc := cqe.StatusCode(); sc != SCReservationConflict {
+			t.Fatalf("stale write status %#x, want reservation conflict", cqe.Status())
+		}
+		// ...and the medium still holds q1's pattern.
+		got := make([]byte, 512)
+		if err := r.med.Read(p, 7, 1, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != 0x5A {
+				t.Fatalf("medium byte %d = %#x after fenced write, want 0x5A", i, got[i])
+			}
+		}
+		if r.ctrl.Stats.ResvConflicts == 0 {
+			t.Error("ResvConflicts counter not incremented")
+		}
+		if before := r.ctrl.Stats.WriteCmds; before != 1 {
+			t.Errorf("WriteCmds = %d, fenced write must not count", before)
+		}
+	})
+}
+
+// TestReservationReportLayout checks the report wire format end to end:
+// generation counter, held type, registrant entries in qid order, host
+// identity from CDW15, and NUMD truncation.
+func TestReservationReportLayout(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q1 := r.ioQueueN(t, p, a, 1, 8)
+		q2 := r.ioQueueN(t, p, a, 2, 8)
+		keys, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resvExec(t, p, r, q1, keys, IOResvRegister, ResvRegisterKey, 11, 0, 0xA1)
+		resvExec(t, p, r, q2, keys, IOResvRegister, ResvRegisterKey, 22, 0, 0xB2)
+		resvExec(t, p, r, q1, keys, IOResvAcquire, acquireCDW10(ResvAcquireAct, ResvWriteExclusive), 0, 0xA1, 0)
+
+		rep, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := ResvStatusHdrSize + 2*ResvRegistrantSize
+		numd := uint32(full/4 - 1) // 0-based dwords covering the whole report
+		cmd := SQE{Opcode: IOResvReport, NSID: 1, PRP1: uint64(rep), CDW10: numd}
+		if cqe := execIO(t, p, r.host, q1, &cmd); !cqe.OK() {
+			t.Fatalf("report: %#x", cqe.Status())
+		}
+		raw := make([]byte, full)
+		if err := r.host.Read(p, rep, raw); err != nil {
+			t.Fatal(err)
+		}
+		st := UnmarshalResvStatus(raw)
+		if st.Gen != 2 {
+			t.Errorf("gen = %d, want 2 (two registrations; acquire does not bump it)", st.Gen)
+		}
+		if st.RType != ResvWriteExclusive {
+			t.Errorf("rtype = %d, want %d", st.RType, ResvWriteExclusive)
+		}
+		want := []ResvRegistrant{
+			{CNTLID: 1, Holder: true, HostID: 11, RKey: 0xA1},
+			{CNTLID: 2, Holder: false, HostID: 22, RKey: 0xB2},
+		}
+		if len(st.Regs) != len(want) {
+			t.Fatalf("registrants = %+v, want %+v", st.Regs, want)
+		}
+		for i := range want {
+			if st.Regs[i] != want[i] {
+				t.Errorf("registrant %d = %+v, want %+v", i, st.Regs[i], want[i])
+			}
+		}
+
+		// Raw offsets per spec: GEN at 0, RTYPE at 4, REGCTL at 5, first
+		// entry at 24 with CNTLID at +0, RCSTS at +2, RKEY at +16.
+		if got := binary.LittleEndian.Uint32(raw[0:]); got != 2 {
+			t.Errorf("raw GEN = %d", got)
+		}
+		if raw[4] != ResvWriteExclusive {
+			t.Errorf("raw RTYPE = %d", raw[4])
+		}
+		if got := binary.LittleEndian.Uint16(raw[5:]); got != 2 {
+			t.Errorf("raw REGCTL = %d", got)
+		}
+		if got := binary.LittleEndian.Uint16(raw[24:]); got != 1 {
+			t.Errorf("raw entry0 CNTLID = %d", got)
+		}
+		if raw[24+2]&1 != 1 {
+			t.Error("raw entry0 RCSTS holder bit clear")
+		}
+		if got := binary.LittleEndian.Uint64(raw[24+16:]); got != 0xA1 {
+			t.Errorf("raw entry0 RKEY = %#x", got)
+		}
+
+		// A short NUMD truncates: ask for header + one entry only.
+		short := ResvStatusHdrSize + ResvRegistrantSize
+		cmd = SQE{Opcode: IOResvReport, NSID: 1, PRP1: uint64(rep), CDW10: uint32(short/4 - 1)}
+		if cqe := execIO(t, p, r.host, q1, &cmd); !cqe.OK() {
+			t.Fatalf("short report: %#x", cqe.Status())
+		}
+		raw = make([]byte, short)
+		if err := r.host.Read(p, rep, raw); err != nil {
+			t.Fatal(err)
+		}
+		st = UnmarshalResvStatus(raw)
+		if len(st.Regs) != 1 || st.Regs[0].CNTLID != 1 {
+			t.Errorf("truncated report regs = %+v, want just CNTLID 1", st.Regs)
+		}
+	})
+}
+
+// TestReservationQueueDeleteDropsRegistration pins the qid-reuse hazard:
+// deleting a registrant's SQ must drop its registration so a later client
+// granted the same qid does not inherit reservation rights.
+func TestReservationQueueDeleteDropsRegistration(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		a := r.enable(t, p)
+		q1 := r.ioQueueN(t, p, a, 1, 8)
+		r.ioQueueN(t, p, a, 2, 8)
+		keys, err := r.host.Alloc(PageSize, PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resvExec(t, p, r, q1, keys, IOResvRegister, ResvRegisterKey, 0, 0, 0xA1)
+		resvExec(t, p, r, q1, keys, IOResvAcquire, acquireCDW10(ResvAcquireAct, ResvWriteExclusive), 0, 0xA1, 0)
+		genBefore := r.ctrl.ResvStatus().Gen
+		if err := a.DeleteQueuePair(p, 1); err != nil {
+			t.Fatalf("delete qp: %v", err)
+		}
+		st := r.ctrl.ResvStatus()
+		if st.RType != 0 {
+			t.Errorf("reservation survives holder's queue deletion (rtype %d)", st.RType)
+		}
+		if len(st.Regs) != 0 {
+			t.Errorf("registration survives queue deletion: %+v", st.Regs)
+		}
+		if st.Gen <= genBefore {
+			t.Errorf("gen %d not bumped past %d by implicit unregister", st.Gen, genBefore)
+		}
+	})
+}

@@ -92,7 +92,52 @@ const (
 	IOCompare     = 0x05
 	IOWriteZeroes = 0x08
 	IODSM         = 0x09
+	// Persistent reservation commands (§6.11–6.14). The volume layer uses
+	// these to fence stale writers after a path failover.
+	IOResvRegister = 0x0D
+	IOResvReport   = 0x0E
+	IOResvAcquire  = 0x11
+	IOResvRelease  = 0x15
 )
+
+// Reservation types (RTYPE, §6.11). Only the exclusive-writer types are
+// meaningful on this single-namespace controller; the "all registrants"
+// variants are accepted but behave like their registrants-only forms.
+const (
+	ResvWriteExclusive         = 1 // only the holder may write
+	ResvExclusiveAccess        = 2 // only the holder may read or write
+	ResvWriteExclusiveRegOnly  = 3 // registrants may write
+	ResvExclusiveAccessRegOnly = 4 // registrants may read/write
+	ResvWriteExclusiveAllReg   = 5
+	ResvExclusiveAccessAllReg  = 6
+)
+
+// Reservation Register actions (CDW10 RREGA bits 2:0).
+const (
+	ResvRegisterKey   = 0 // register a new key
+	ResvUnregisterKey = 1 // unregister
+	ResvReplaceKey    = 2 // replace an existing key
+)
+
+// Reservation Acquire actions (CDW10 RACQA bits 2:0).
+const (
+	ResvAcquireAct      = 0 // acquire the reservation
+	ResvPreempt         = 1 // preempt the holder / registrants with PRKEY
+	ResvPreemptAndAbort = 2 // preempt and abort the victim's commands
+)
+
+// Reservation Release actions (CDW10 RRELA bits 2:0).
+const (
+	ResvReleaseAct = 0 // release the held reservation
+	ResvClearAct   = 1 // clear: drop reservation and every registration
+)
+
+// ResvIEKEY is CDW10 bit 3 (ignore existing key) on Register.
+const ResvIEKEY = 1 << 3
+
+// ResvRTYPEShift positions RTYPE within CDW10 (bits 15:8) for Acquire and
+// Release.
+const ResvRTYPEShift = 8
 
 // DSM (Dataset Management) constants.
 const (
@@ -186,6 +231,9 @@ const (
 	SCInvalidNS      = 0x0B
 	SCLBAOutOfRange  = 0x80
 	SCCapExceeded    = 0x81
+	// SCReservationConflict fences a command blocked by a persistent
+	// reservation held (or required) by another registrant (§4.6.1.2.1).
+	SCReservationConflict = 0x83
 )
 
 // Media error status codes.
@@ -317,9 +365,10 @@ func (c *CQE) StatusCode() (sct, sc uint8) {
 
 // ONCS (optional NVM command support) bits.
 const (
-	ONCSCompare     = 1 << 0
-	ONCSWriteZeroes = 1 << 3
-	ONCSDSM         = 1 << 2
+	ONCSCompare      = 1 << 0
+	ONCSWriteZeroes  = 1 << 3
+	ONCSDSM          = 1 << 2
+	ONCSReservations = 1 << 5
 )
 
 // OACS (optional admin command support) bits.
@@ -352,6 +401,9 @@ func (id IdentifyController) SupportsWriteZeroes() bool { return id.ONCS&ONCSWri
 
 // SupportsDSM reports ONCS bit 2.
 func (id IdentifyController) SupportsDSM() bool { return id.ONCS&ONCSDSM != 0 }
+
+// SupportsReservations reports ONCS bit 5.
+func (id IdentifyController) SupportsReservations() bool { return id.ONCS&ONCSReservations != 0 }
 
 // MarshalIdentifyController lays the structure out per spec offsets.
 func MarshalIdentifyController(id IdentifyController) []byte {
@@ -430,6 +482,86 @@ func trimPadded(b []byte) string {
 		end--
 	}
 	return string(b[:end])
+}
+
+// ResvRegistrant is one registered controller entry in the Reservation
+// Status (report) data structure. In this model the sharing unit is the
+// queue pair, so CNTLID carries the registrant's SQ ID and HostID the
+// owning host.
+type ResvRegistrant struct {
+	CNTLID uint16
+	// Holder reports RCSTS bit 0: this registrant holds the reservation.
+	Holder bool
+	HostID uint64
+	RKey   uint64
+}
+
+// ResvStatus is the Reservation Status data structure returned by
+// Reservation Report (§6.13): a header followed by one registered
+// controller entry per registrant.
+type ResvStatus struct {
+	// Gen is the generation counter, incremented on every register,
+	// unregister, replace, preempt and clear.
+	Gen uint32
+	// RType is the held reservation type (0 = none held).
+	RType uint8
+	// Regs lists registrants in ascending CNTLID order.
+	Regs []ResvRegistrant
+}
+
+// ResvStatusHdrSize is the report header size; registrant entries follow
+// at this offset, ResvRegistrantSize bytes each (spec layout).
+const (
+	ResvStatusHdrSize  = 24
+	ResvRegistrantSize = 24
+)
+
+// MarshalResvStatus lays the structure out per spec offsets: GEN at 0,
+// RTYPE at 4, REGCTL at 5, then 24-byte registrant entries from offset 24
+// (CNTLID at 0, RCSTS at 2, HOSTID at 8, RKEY at 16).
+func MarshalResvStatus(s ResvStatus) []byte {
+	b := make([]byte, ResvStatusHdrSize+len(s.Regs)*ResvRegistrantSize)
+	binary.LittleEndian.PutUint32(b[0:], s.Gen)
+	b[4] = s.RType
+	binary.LittleEndian.PutUint16(b[5:], uint16(len(s.Regs)))
+	for i, r := range s.Regs {
+		e := b[ResvStatusHdrSize+i*ResvRegistrantSize:]
+		binary.LittleEndian.PutUint16(e[0:], r.CNTLID)
+		if r.Holder {
+			e[2] = 1
+		}
+		binary.LittleEndian.PutUint64(e[8:], r.HostID)
+		binary.LittleEndian.PutUint64(e[16:], r.RKey)
+	}
+	return b
+}
+
+// UnmarshalResvStatus decodes the fields written by MarshalResvStatus.
+// Truncated registrant entries (the host asked for fewer dwords than the
+// full report) are dropped, as a real host must tolerate.
+func UnmarshalResvStatus(b []byte) ResvStatus {
+	if len(b) < ResvStatusHdrSize {
+		return ResvStatus{}
+	}
+	s := ResvStatus{
+		Gen:   binary.LittleEndian.Uint32(b[0:]),
+		RType: b[4],
+	}
+	n := int(binary.LittleEndian.Uint16(b[5:]))
+	for i := 0; i < n; i++ {
+		off := ResvStatusHdrSize + i*ResvRegistrantSize
+		if off+ResvRegistrantSize > len(b) {
+			break
+		}
+		e := b[off:]
+		s.Regs = append(s.Regs, ResvRegistrant{
+			CNTLID: binary.LittleEndian.Uint16(e[0:]),
+			Holder: e[2]&1 != 0,
+			HostID: binary.LittleEndian.Uint64(e[8:]),
+			RKey:   binary.LittleEndian.Uint64(e[16:]),
+		})
+	}
+	return s
 }
 
 // SQTailDoorbell returns the BAR offset of SQ qid's tail doorbell for

@@ -146,16 +146,16 @@ func TestTrimPadded(t *testing.T) {
 }
 
 func TestONCSAdvertisement(t *testing.T) {
-	id := IdentifyController{ONCS: ONCSCompare | ONCSWriteZeroes | ONCSDSM, OACS: OACSGetLogPage}
+	id := IdentifyController{ONCS: ONCSCompare | ONCSWriteZeroes | ONCSDSM | ONCSReservations, OACS: OACSGetLogPage}
 	got := UnmarshalIdentifyController(MarshalIdentifyController(id))
-	if !got.SupportsCompare() || !got.SupportsWriteZeroes() || !got.SupportsDSM() {
+	if !got.SupportsCompare() || !got.SupportsWriteZeroes() || !got.SupportsDSM() || !got.SupportsReservations() {
 		t.Fatalf("ONCS lost in round trip: %+v", got)
 	}
 	if got.OACS != OACSGetLogPage {
 		t.Fatalf("OACS lost: %#x", got.OACS)
 	}
 	none := UnmarshalIdentifyController(MarshalIdentifyController(IdentifyController{}))
-	if none.SupportsCompare() || none.SupportsWriteZeroes() || none.SupportsDSM() {
+	if none.SupportsCompare() || none.SupportsWriteZeroes() || none.SupportsDSM() || none.SupportsReservations() {
 		t.Fatal("zero ONCS advertises optional commands")
 	}
 }

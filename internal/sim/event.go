@@ -52,6 +52,12 @@ func (p *Proc) Wait(e *Event) any {
 	e.waiters = append(e.waiters, p)
 	p.k.park(p)
 	p.yield()
+	if !e.triggered {
+		// A resume without a trigger means another goroutine called this
+		// proc's blocking methods (illegal concurrent use): fail loudly
+		// instead of returning a nil payload that corrupts the caller.
+		panic("sim: spurious wake of " + p.name + " in Wait")
+	}
 	return e.payload
 }
 

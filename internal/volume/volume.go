@@ -1,0 +1,261 @@
+// Package volume builds a mirrored nexus volume over two block devices
+// reached through different controllers — the multi-path layer a
+// cluster tenant runs on top of two single-function NVMe devices shared
+// per the paper's scheme. Writes are mirrored to both replicas, reads
+// fail over between them, and each path carries an ANA-style state
+// (optimized / non-optimized / inaccessible) driven by the core layer's
+// transient/fatal error classification: a transient fault demotes a
+// path, a fatal one (queue reclaimed, client closed, reservation
+// conflict) kills it.
+//
+// The nexus does not fence dead paths itself — it calls back through
+// FenceFunc so the owner can register a fresh key on the dead path's
+// controller and preempt-and-abort the stale registrant (see
+// cluster.RunVolumeScenario).
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PathState is an ANA-style access state for one nexus path.
+type PathState int32
+
+// Path states. Optimized is the preferred read path; NonOptimized is
+// usable but demoted (it saw a transient fault, or it is the mirror
+// secondary); Inaccessible paths receive no I/O until revived.
+const (
+	Optimized PathState = iota
+	NonOptimized
+	Inaccessible
+)
+
+func (s PathState) String() string {
+	switch s {
+	case Optimized:
+		return "optimized"
+	case NonOptimized:
+		return "non-optimized"
+	case Inaccessible:
+		return "inaccessible"
+	}
+	return "unknown"
+}
+
+// Nexus errors.
+var (
+	// ErrNoPath means every path is inaccessible.
+	ErrNoPath = errors.New("volume: no accessible path")
+	// ErrMismatched means the replicas disagree on geometry.
+	ErrMismatched = errors.New("volume: replica geometry mismatch")
+)
+
+// FenceFunc fences a dead path at its controller (reservation preempt).
+// Called by FencePath with the index of the path being fenced.
+type FenceFunc func(p *sim.Proc, path int) error
+
+// Path is one leg of the nexus.
+type Path struct {
+	Dev   block.Device
+	state atomic.Int32
+	// Reads/Writes count operations completed through this path; Errors
+	// counts operations it failed.
+	Reads  atomic.Uint64
+	Writes atomic.Uint64
+	Errors atomic.Uint64
+}
+
+// State returns the path's current access state. Safe from any
+// goroutine (telemetry gauges read it from the scrape path).
+func (pt *Path) State() PathState { return PathState(pt.state.Load()) }
+
+// Nexus is a two-replica mirrored volume. All exported counters are
+// atomics: telemetry gauges sample them from outside the sim loop.
+type Nexus struct {
+	name  string
+	k     *sim.Kernel
+	paths [2]*Path
+	fence FenceFunc
+
+	// MirroredWrites counts writes acknowledged by both replicas;
+	// DegradedWrites those acknowledged by exactly one (the other path
+	// inaccessible or failing); ReadFailovers reads that had to switch
+	// paths; Fences completed FencePath calls.
+	MirroredWrites atomic.Uint64
+	DegradedWrites atomic.Uint64
+	ReadFailovers  atomic.Uint64
+	Fences         atomic.Uint64
+}
+
+// New builds a nexus over replicas a (initially optimized) and b
+// (initially non-optimized). fence may be nil if the owner never calls
+// FencePath.
+func New(name string, k *sim.Kernel, a, b block.Device, fence FenceFunc) (*Nexus, error) {
+	if a.BlockSize() != b.BlockSize() || a.Blocks() != b.Blocks() {
+		return nil, fmt.Errorf("%w: %d×%d vs %d×%d", ErrMismatched,
+			a.Blocks(), a.BlockSize(), b.Blocks(), b.BlockSize())
+	}
+	n := &Nexus{name: name, k: k, fence: fence}
+	n.paths[0] = &Path{Dev: a}
+	n.paths[1] = &Path{Dev: b}
+	n.paths[1].state.Store(int32(NonOptimized))
+	return n, nil
+}
+
+// Name implements block.Device.
+func (n *Nexus) Name() string { return n.name }
+
+// BlockSize implements block.Device.
+func (n *Nexus) BlockSize() int { return n.paths[0].Dev.BlockSize() }
+
+// Blocks implements block.Device.
+func (n *Nexus) Blocks() uint64 { return n.paths[0].Dev.Blocks() }
+
+// Path returns leg i (0 or 1) for state inspection and metrics wiring.
+func (n *Nexus) Path(i int) *Path { return n.paths[i] }
+
+// demote applies the error classification to a failed path: fatal kills
+// it, transient demotes optimized to non-optimized (it stays usable —
+// the fault may clear).
+func (n *Nexus) demote(pt *Path, err error) {
+	pt.Errors.Add(1)
+	if core.IsFatal(err) {
+		pt.state.Store(int32(Inaccessible))
+		return
+	}
+	pt.state.CompareAndSwap(int32(Optimized), int32(NonOptimized))
+}
+
+// accessible returns the indices of paths that may receive I/O, best
+// state first (optimized before non-optimized).
+func (n *Nexus) accessible() []int {
+	var opt, non []int
+	for i, pt := range n.paths {
+		switch pt.State() {
+		case Optimized:
+			opt = append(opt, i)
+		case NonOptimized:
+			non = append(non, i)
+		}
+	}
+	return append(opt, non...)
+}
+
+// WriteBlocks implements block.Device: the write is mirrored to every
+// accessible path concurrently and succeeds when at least one replica
+// acknowledged it. A replica failure demotes or kills that path per the
+// error class; with both replicas down the write fails with the last
+// path error.
+func (n *Nexus) WriteBlocks(p *sim.Proc, lba uint64, nblk int, data []byte) error {
+	live := n.accessible()
+	if len(live) == 0 {
+		return ErrNoPath
+	}
+	errs := make([]error, len(live))
+	if len(live) == 1 {
+		errs[0] = n.paths[live[0]].Dev.WriteBlocks(p, lba, nblk, data)
+	} else {
+		fins := make([]*sim.Event, len(live))
+		for j, i := range live {
+			j, i := j, i
+			fins[j] = sim.NewEvent(n.k)
+			n.k.Spawn(fmt.Sprintf("%s/mirror%d", n.name, i), func(wp *sim.Proc) {
+				defer fins[j].Trigger(nil)
+				errs[j] = n.paths[i].Dev.WriteBlocks(wp, lba, nblk, data)
+			})
+		}
+		p.WaitAll(fins...)
+	}
+	acked := 0
+	var lastErr error
+	for j, i := range live {
+		if errs[j] != nil {
+			n.demote(n.paths[i], errs[j])
+			lastErr = errs[j]
+			continue
+		}
+		n.paths[i].Writes.Add(1)
+		acked++
+	}
+	switch {
+	case acked == 0:
+		return lastErr
+	case acked < len(n.paths):
+		n.DegradedWrites.Add(1)
+	default:
+		n.MirroredWrites.Add(1)
+	}
+	return nil
+}
+
+// ReadBlocks implements block.Device: the read goes to the best path and
+// fails over to the next on error.
+func (n *Nexus) ReadBlocks(p *sim.Proc, lba uint64, nblk int, buf []byte) error {
+	live := n.accessible()
+	if len(live) == 0 {
+		return ErrNoPath
+	}
+	var lastErr error
+	for attempt, i := range live {
+		pt := n.paths[i]
+		if err := pt.Dev.ReadBlocks(p, lba, nblk, buf); err != nil {
+			n.demote(pt, err)
+			lastErr = err
+			continue
+		}
+		pt.Reads.Add(1)
+		if attempt > 0 {
+			n.ReadFailovers.Add(1)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Flush implements block.Device: flushed on every accessible path;
+// failures demote but the flush succeeds if any replica persisted.
+func (n *Nexus) Flush(p *sim.Proc) error {
+	live := n.accessible()
+	if len(live) == 0 {
+		return ErrNoPath
+	}
+	ok := 0
+	var lastErr error
+	for _, i := range live {
+		if err := n.paths[i].Dev.Flush(p); err != nil {
+			n.demote(n.paths[i], err)
+			lastErr = err
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		return lastErr
+	}
+	return nil
+}
+
+// FencePath declares path i dead: it is marked inaccessible before the
+// fence callback runs (no new I/O can race the preempt), then the
+// callback fences its registration at the controller so a stale writer
+// conflicts instead of landing.
+func (n *Nexus) FencePath(p *sim.Proc, i int) error {
+	n.paths[i].state.Store(int32(Inaccessible))
+	if n.fence != nil {
+		if err := n.fence(p, i); err != nil {
+			return err
+		}
+	}
+	n.Fences.Add(1)
+	return nil
+}
+
+// Revive returns path i to service in the given state (after the fault
+// cleared and the owner re-established its registration).
+func (n *Nexus) Revive(i int, s PathState) { n.paths[i].state.Store(int32(s)) }

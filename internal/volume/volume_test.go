@@ -1,0 +1,222 @@
+package volume_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/volume"
+)
+
+// memDev is an in-memory block device with injectable per-op failures.
+type memDev struct {
+	name    string
+	data    []byte
+	bs      int
+	failRd  error // next reads fail with this until cleared
+	failWr  error // next writes fail with this until cleared
+	latency int64
+	writes  int
+	reads   int
+}
+
+func newMemDev(name string, blocks uint64) *memDev {
+	return &memDev{name: name, bs: 512, data: make([]byte, blocks*512), latency: 1000}
+}
+
+func (d *memDev) Name() string   { return d.name }
+func (d *memDev) BlockSize() int { return d.bs }
+func (d *memDev) Blocks() uint64 { return uint64(len(d.data) / d.bs) }
+func (d *memDev) Flush(p *sim.Proc) error {
+	p.Sleep(d.latency)
+	return nil
+}
+
+func (d *memDev) ReadBlocks(p *sim.Proc, lba uint64, nblk int, buf []byte) error {
+	p.Sleep(d.latency)
+	if d.failRd != nil {
+		return d.failRd
+	}
+	d.reads++
+	copy(buf, d.data[lba*uint64(d.bs):(lba+uint64(nblk))*uint64(d.bs)])
+	return nil
+}
+
+func (d *memDev) WriteBlocks(p *sim.Proc, lba uint64, nblk int, data []byte) error {
+	p.Sleep(d.latency)
+	if d.failWr != nil {
+		return d.failWr
+	}
+	d.writes++
+	copy(d.data[lba*uint64(d.bs):], data)
+	return nil
+}
+
+// run executes fn in one proc and drives the kernel to completion.
+func run(t *testing.T, k *sim.Kernel, fn func(p *sim.Proc)) {
+	t.Helper()
+	k.Spawn("test", fn)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(sim.Stopped); !ok {
+				panic(r)
+			}
+		}
+	}()
+	k.RunAll()
+	k.Shutdown()
+}
+
+func TestNexusMirrorsWrites(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := newMemDev("a", 64), newMemDev("b", 64)
+	nx, err := volume.New("nexus0", k, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(p *sim.Proc) {
+		want := bytes.Repeat([]byte{0x77}, 512)
+		if err := nx.WriteBlocks(p, 3, 1, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Both replicas hold the data.
+		if !bytes.Equal(a.data[3*512:4*512], want) || !bytes.Equal(b.data[3*512:4*512], want) {
+			t.Error("write not mirrored to both replicas")
+		}
+		if nx.MirroredWrites.Load() != 1 || nx.DegradedWrites.Load() != 0 {
+			t.Errorf("Mirrored=%d Degraded=%d, want 1/0",
+				nx.MirroredWrites.Load(), nx.DegradedWrites.Load())
+		}
+		got := make([]byte, 512)
+		if err := nx.ReadBlocks(p, 3, 1, got); err != nil || !bytes.Equal(got, want) {
+			t.Errorf("read back (err=%v)", err)
+		}
+		// Reads go to the optimized path only.
+		if a.reads != 1 || b.reads != 0 {
+			t.Errorf("reads a=%d b=%d, want 1/0", a.reads, b.reads)
+		}
+		if err := nx.Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	})
+}
+
+func TestNexusReadFailover(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := newMemDev("a", 64), newMemDev("b", 64)
+	nx, err := volume.New("nexus0", k, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(p *sim.Proc) {
+		want := bytes.Repeat([]byte{0x31}, 512)
+		if err := nx.WriteBlocks(p, 0, 1, want); err != nil {
+			t.Fatal(err)
+		}
+		// Transient read failure on the optimized path: the read fails
+		// over to the mirror and the sick path is demoted, not killed.
+		a.failRd = core.Transient(errors.New("flap"))
+		got := make([]byte, 512)
+		if err := nx.ReadBlocks(p, 0, 1, got); err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("failover read (err=%v)", err)
+		}
+		if nx.ReadFailovers.Load() != 1 {
+			t.Errorf("ReadFailovers = %d, want 1", nx.ReadFailovers.Load())
+		}
+		if s := nx.Path(0).State(); s != volume.NonOptimized {
+			t.Errorf("path 0 state %v, want non-optimized after transient", s)
+		}
+		// The fault clears: path 0 is still accessible.
+		a.failRd = nil
+		if err := nx.ReadBlocks(p, 0, 1, got); err != nil {
+			t.Errorf("read after recovery: %v", err)
+		}
+	})
+}
+
+func TestNexusDegradedWritesAndFatalPathDeath(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := newMemDev("a", 64), newMemDev("b", 64)
+	nx, err := volume.New("nexus0", k, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(p *sim.Proc) {
+		want := bytes.Repeat([]byte{0x42}, 512)
+		// Fatal failure on replica A: path killed, write still succeeds
+		// degraded through B.
+		a.failWr = core.Fatal(errors.New("queue gone"))
+		if err := nx.WriteBlocks(p, 9, 1, want); err != nil {
+			t.Fatalf("degraded write: %v", err)
+		}
+		if s := nx.Path(0).State(); s != volume.Inaccessible {
+			t.Errorf("path 0 state %v, want inaccessible after fatal", s)
+		}
+		if nx.DegradedWrites.Load() != 1 {
+			t.Errorf("DegradedWrites = %d, want 1", nx.DegradedWrites.Load())
+		}
+		if !bytes.Equal(b.data[9*512:10*512], want) {
+			t.Error("surviving replica missed the write")
+		}
+		// Subsequent I/O never touches the dead path.
+		aw := a.writes
+		if err := nx.WriteBlocks(p, 10, 1, want); err != nil {
+			t.Fatalf("write after path death: %v", err)
+		}
+		if a.writes != aw {
+			t.Error("write reached an inaccessible path")
+		}
+		// Both paths dead: ErrNoPath.
+		b.failWr = core.Fatal(errors.New("gone too"))
+		if err := nx.WriteBlocks(p, 11, 1, want); err == nil {
+			t.Fatal("write with one dying path succeeded silently")
+		}
+		if err := nx.WriteBlocks(p, 11, 1, want); !errors.Is(err, volume.ErrNoPath) {
+			t.Errorf("write with no paths = %v, want ErrNoPath", err)
+		}
+		if err := nx.ReadBlocks(p, 0, 1, want); !errors.Is(err, volume.ErrNoPath) {
+			t.Errorf("read with no paths = %v, want ErrNoPath", err)
+		}
+		// Revive B: service resumes.
+		b.failWr = nil
+		nx.Revive(1, volume.Optimized)
+		if err := nx.WriteBlocks(p, 12, 1, want); err != nil {
+			t.Errorf("write after revive: %v", err)
+		}
+	})
+}
+
+func TestNexusFenceCallback(t *testing.T) {
+	k := sim.NewKernel()
+	a, b := newMemDev("a", 64), newMemDev("b", 64)
+	fenced := -1
+	nx, err := volume.New("nexus0", k, a, b,
+		func(p *sim.Proc, path int) error { fenced = path; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, k, func(p *sim.Proc) {
+		if err := nx.FencePath(p, 0); err != nil {
+			t.Fatalf("fence: %v", err)
+		}
+		if fenced != 0 {
+			t.Errorf("fence callback got path %d, want 0", fenced)
+		}
+		if nx.Fences.Load() != 1 {
+			t.Errorf("Fences = %d, want 1", nx.Fences.Load())
+		}
+		if s := nx.Path(0).State(); s != volume.Inaccessible {
+			t.Errorf("fenced path state %v, want inaccessible", s)
+		}
+	})
+}
+
+func TestNexusGeometryMismatch(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := volume.New("nexus0", k, newMemDev("a", 64), newMemDev("b", 128), nil); !errors.Is(err, volume.ErrMismatched) {
+		t.Fatalf("mismatched geometry accepted: %v", err)
+	}
+	k.Shutdown()
+}
