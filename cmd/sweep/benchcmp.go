@@ -178,6 +178,33 @@ func compareBench(oldRep, newRep *wallclockReport, newPath string, tol float64) 
 		}
 	}
 
+	qosKey := func(e qosEntry) string {
+		return fmt.Sprintf("%s mode=%s", e.Scenario, qosModeName(e.QoS))
+	}
+	newQoS := make(map[string]qosEntry)
+	for _, e := range newRep.QoS {
+		newQoS[qosKey(e)] = e
+	}
+	for _, o := range oldRep.QoS {
+		k := qosKey(o)
+		n, ok := newQoS[k]
+		if !ok {
+			reg("qos %s: missing from %s", k, newPath)
+			continue
+		}
+		// The headline fact: a drop in max sustainable rate is a QoS
+		// regression; an increase is an improvement worth noting.
+		if n.MaxSustainPct < o.MaxSustainPct {
+			reg("qos %s: max_sustainable_pct %d -> %d", k, o.MaxSustainPct, n.MaxSustainPct)
+		} else if n.MaxSustainPct > o.MaxSustainPct {
+			info("qos %s: max_sustainable_pct %d -> %d (improved)", k, o.MaxSustainPct, n.MaxSustainPct)
+		}
+		if drifted(o.MaxSustainIOPS, n.MaxSustainIOPS) {
+			reg("qos %s: max_sustainable_iops %.0f -> %.0f (%+.2f%%)",
+				k, o.MaxSustainIOPS, n.MaxSustainIOPS, relPct(o.MaxSustainIOPS, n.MaxSustainIOPS))
+		}
+	}
+
 	return regressions, infos
 }
 

@@ -25,6 +25,12 @@ func benchFixture() *wallclockReport {
 				VirtualNs: 4_000_000, WallNs: 3_000_000, EventsPerSec: 2.6e7,
 				Speedup: 1.0, Digest: "fnv1a:abc123"},
 		},
+		QoS: []qosEntry{
+			{Scenario: "noisy-neighbor", QoS: false,
+				MaxSustainPct: 50, MaxSustainIOPS: 270_000, ArrivalDigest: "aaaa"},
+			{Scenario: "noisy-neighbor", QoS: true,
+				MaxSustainPct: 100, MaxSustainIOPS: 540_000, ArrivalDigest: "bbbb"},
+		},
 	}
 }
 
@@ -91,5 +97,45 @@ func TestBenchcmpMissingRun(t *testing.T) {
 	regressions, _ = compareBench(newRep, oldRep, "old.json", 0.05)
 	if len(regressions) != 0 {
 		t.Fatalf("new-only run flagged: %v", regressions)
+	}
+}
+
+// TestBenchcmpGatesQoS: a drop in max sustainable rate is a regression;
+// an increase is only informational.
+func TestBenchcmpGatesQoS(t *testing.T) {
+	oldRep := benchFixture()
+	newRep := benchFixture()
+	newRep.QoS[1].MaxSustainPct = 75
+	newRep.QoS[1].MaxSustainIOPS = 405_000
+
+	regressions, _ := compareBench(oldRep, newRep, "new.json", 0.05)
+	if len(regressions) != 2 {
+		t.Fatalf("qos capacity drop produced %d regressions, want 2 (pct + iops): %v",
+			len(regressions), regressions)
+	}
+	for _, r := range regressions {
+		if !strings.Contains(r, "qos noisy-neighbor mode=qos") {
+			t.Errorf("regression does not name the qos entry: %s", r)
+		}
+	}
+
+	// Improvement direction: more sustainable load must not fail the gate.
+	regressions, infos := compareBench(newRep, oldRep, "old.json", 0.05)
+	hasImproved := false
+	for _, m := range infos {
+		if strings.Contains(m, "improved") {
+			hasImproved = true
+		}
+	}
+	// The iops drift still flags symmetrically — capacity change in either
+	// direction beyond tolerance deserves a fresh committed baseline — but
+	// the pct direction is one-sided.
+	for _, r := range regressions {
+		if strings.Contains(r, "max_sustainable_pct") {
+			t.Errorf("pct increase flagged as regression: %s", r)
+		}
+	}
+	if !hasImproved {
+		t.Error("pct increase not reported as improvement")
 	}
 }

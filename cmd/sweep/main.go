@@ -99,6 +99,7 @@ func main() {
 		telOut    = flag.String("telemetry", "", "run the multihost fairness scenario with virtual-time sampling and write deterministic telemetry JSON to this path")
 		faults    = flag.Bool("faults", false, "run the fault/recovery scenario (host crash, manager restart, fabric noise) and write a deterministic JSON report")
 		volumeM   = flag.Bool("volume", false, "run the nexus-volume path-death scenario (mirrored writes over two controllers, link outage, reservation fence, integrity sweep) and write a deterministic JSON report")
+		qosM      = flag.Bool("qos", false, "search the max sustainable open-loop arrival rate per QoS scenario, with and without WRR+admission control, and write a deterministic JSON report (combine with -trace for a Chrome trace with qos counter lanes)")
 		workers   = flag.Int("workers", 4, "writer processes for -volume")
 		seed      = flag.Int64("seed", 7, "scenario seed for -faults (drives workload and fault plan)")
 		hosts     = flag.Int("hosts", 4, "client hosts for -telemetry")
@@ -157,6 +158,14 @@ func main() {
 	fop := fio.RandRead
 	if *op == "write" {
 		fop = fio.RandWrite
+	}
+	if *qosM {
+		qout := *out
+		if qout == "BENCH_sim.json" { // the -wallclock default; don't clobber it
+			qout = "QOS_sim.json"
+		}
+		runQoS(qout, *traceOut)
+		return
 	}
 	if *traceOut != "" {
 		runTrace(*scenario, fop, *op, *qd, *ios, *traceOut)
@@ -376,8 +385,10 @@ type scalingRun struct {
 // breakdown carries its ranked "bottlenecks" rows and "top_bottleneck"
 // from the attribution engine. v6: the "sensitivity" section — one
 // executed counterfactual matrix per scenario with per-cell
-// predicted_ns/actual_ns/error_pct and the ranked "top_lever".
-const benchSchemaVersion = 6
+// predicted_ns/actual_ns/error_pct and the ranked "top_lever". v7: the
+// "qos" section — per (scenario, qos-mode) max sustainable open-loop
+// arrival rate before SLO violation, with the evaluated ladder points.
+const benchSchemaVersion = 7
 
 // sweepConfig echoes the scenario configuration a report was produced
 // with, so a BENCH_sim.json is self-describing.
@@ -423,6 +434,9 @@ type wallclockReport struct {
 	// every knob x factor run for real, with the blame-predicted delta and
 	// its error alongside, and the measured top lever.
 	Sensitivity []sensitivityEntry `json:"sensitivity"`
+	// QoS is the max-sustainable-rate search per scenario and mode (v7) —
+	// the same entries `sweep -qos` writes standalone.
+	QoS []qosEntry `json:"qos"`
 }
 
 // sensitivityEntry is one scenario's sensitivity matrix in the report.
@@ -510,6 +524,13 @@ func sweepWallclock(op fio.Op, ios int, telemetryIntervalNs int64, out, digestOu
 	for _, se := range rep.Sensitivity {
 		fmt.Printf("whatif %-14s baseline %8.1f ns/IO  top lever %s\n",
 			se.Scenario, se.BaselineNs, se.TopLever)
+	}
+	// The QoS rate search (v7): max sustainable open-loop arrival rate
+	// per scenario, with and without WRR+admission control.
+	rep.QoS = qosSearch(false)
+	for _, e := range rep.QoS {
+		fmt.Printf("qos %-17s %-6s max sustainable %4d%% = %8.0f IOPS\n",
+			e.Scenario, qosModeName(e.QoS), e.MaxSustainPct, e.MaxSustainIOPS)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -616,6 +637,15 @@ func digestText(rep *wallclockReport) string {
 		for _, c := range se.Cells {
 			fmt.Fprintf(&b, "whatif-cell %s %s x%.2f predicted_ns=%.1f actual_ns=%.1f err_pct=%.2f\n",
 				se.Scenario, c.Knob, c.Factor, c.PredictedNs, c.ActualNs, c.ErrorPct)
+		}
+	}
+	for _, e := range rep.QoS {
+		fmt.Fprintf(&b, "qos %s mode=%s max_pct=%d max_iops=%.0f digest=%s\n",
+			e.Scenario, qosModeName(e.QoS), e.MaxSustainPct, e.MaxSustainIOPS, e.ArrivalDigest)
+		for _, pt := range e.Points {
+			fmt.Fprintf(&b, "qos-point %s mode=%s pct=%d offered=%.0f slo_met=%v viol=%d windows=%d sheds=%d\n",
+				e.Scenario, qosModeName(e.QoS), pt.RateScalePct, pt.OfferedIOPS,
+				pt.SLOMet, pt.Violations, pt.Windows, pt.ClientSheds)
 		}
 	}
 	return b.String()

@@ -82,6 +82,11 @@ func WireControllerMetrics(reg *trace.Registry, ctrl *nvme.Controller) {
 	reg.GaugeFunc("attr.ctrl.max_inflight", func() float64 { return float64(ctrl.BusyOcc.MaxLevel()) })
 	reg.GaugeFunc("attr.ctrl.admin_busy_ns", func() float64 { return float64(ctrl.AdminOcc.BusyAsOf(int64(k.Now()))) })
 	reg.GaugeFunc("attr.ctrl.admin_svcs", func() float64 { return float64(ctrl.AdminOcc.Departures) })
+	reg.GaugeFunc("nvme.arb.urgent_fetched", func() float64 { return float64(ctrl.Stats.ArbFetched[nvme.QPrioUrgent]) })
+	reg.GaugeFunc("nvme.arb.high_fetched", func() float64 { return float64(ctrl.Stats.ArbFetched[nvme.QPrioHigh]) })
+	reg.GaugeFunc("nvme.arb.medium_fetched", func() float64 { return float64(ctrl.Stats.ArbFetched[nvme.QPrioMedium]) })
+	reg.GaugeFunc("nvme.arb.low_fetched", func() float64 { return float64(ctrl.Stats.ArbFetched[nvme.QPrioLow]) })
+	reg.GaugeFunc("nvme.arb.wrr_rounds", func() float64 { return float64(ctrl.Stats.ArbRounds) })
 }
 
 // WireControllerQueueMetrics registers the controller-side counters of

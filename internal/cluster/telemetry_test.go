@@ -65,6 +65,11 @@ var wireMetricsGoldenNames = []string{
 	"attr.ctrl.max_inflight",
 	"attr.ctrl.admin_busy_ns",
 	"attr.ctrl.admin_svcs",
+	"nvme.arb.urgent_fetched",
+	"nvme.arb.high_fetched",
+	"nvme.arb.medium_fetched",
+	"nvme.arb.low_fetched",
+	"nvme.arb.wrr_rounds",
 	`nvme.queue.fetched{host="1",qid="1"}`,
 	`nvme.queue.read_cmds{host="1",qid="1"}`,
 	`nvme.queue.write_cmds{host="1",qid="1"}`,
@@ -100,8 +105,16 @@ var wireMetricsGoldenNames = []string{
 // arbitration loop claims each SQE in the same virtual instant its
 // doorbell lands — SQ residency only becomes nonzero when the
 // controller's inflight cap or round-robin actually delays a claim.
+// The nvme.arb.* class counters attribute fetches by declared queue
+// priority in both arbitration modes; the scenario's queues are all
+// default (medium) class and the controller runs round-robin, so only
+// medium_fetched moves and wrr_rounds stays zero.
 var mayBeZero = map[string]bool{
 	"sim.ticks":                                    true,
+	"nvme.arb.urgent_fetched":                      true,
+	"nvme.arb.high_fetched":                        true,
+	"nvme.arb.low_fetched":                         true,
+	"nvme.arb.wrr_rounds":                          true,
 	"nvme.ctrl.flush_cmds":                         true,
 	"nvme.ctrl.error_cmds":                         true,
 	"nvme.ctrl.interrupts":                         true,

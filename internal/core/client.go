@@ -135,6 +135,10 @@ type ClientParams struct {
 	// stages plus the fabric hops the queue view and controller attach).
 	// Nil — the default — adds no virtual time and no allocations.
 	Tracer *trace.Tracer
+	// Priority selects the queue pair's WRR class (the zero value maps
+	// to medium). Only meaningful against a manager that enabled WRR
+	// arbitration (ManagerParams.WRR).
+	Priority QueuePrio
 }
 
 // DefaultClientParams returns the §V proof-of-concept calibration.
@@ -254,6 +258,13 @@ type Client struct {
 	Aborts          uint64
 	LateCompletions uint64
 	AbandonedSlots  uint64
+	// Sheds counts tenant requests refused by the admission hook. A shed
+	// happens before any CID, slot or timeout bookkeeping, so it can
+	// never inflate TimedOut, Retries or the quarantine (the PR 5
+	// recovery path never sees it).
+	Sheds uint64
+	// admit, when set, gates tenant-tagged I/O (see SetAdmission).
+	admit AdmitFunc
 	// Phases accumulates per-phase time across completed operations.
 	Phases PhaseStats
 	// SlotOcc accounts bounce-partition occupancy: slots enter when
@@ -385,6 +396,7 @@ func NewClient(p *sim.Proc, name string, svc *smartio.Service, node *sisci.Node,
 		MSIAddr:   msiDevAddr,
 		IOVABytes: iovaBytes,
 		CMBBytes:  cmbBytes,
+		Prio:      params.Priority,
 		Ref:       ref,
 		Host:      uint32(node.ID),
 	})
@@ -634,13 +646,37 @@ func (c *Client) Blocks() uint64 { return c.meta.Blocks }
 // CPU then copies out of the bounce — the extra copy the paper accepts in
 // exchange for static NTB mappings.
 func (c *Client) ReadBlocks(p *sim.Proc, lba uint64, nblk int, buf []byte) error {
-	return c.io(p, nvme.IORead, lba, nblk, buf)
+	return c.io(p, nvme.IORead, lba, nblk, buf, NoTenant)
 }
 
 // WriteBlocks implements block.Device: the CPU copies into the bounce
 // partition first; the controller then DMA-reads it.
 func (c *Client) WriteBlocks(p *sim.Proc, lba uint64, nblk int, data []byte) error {
-	return c.io(p, nvme.IOWrite, lba, nblk, data)
+	return c.io(p, nvme.IOWrite, lba, nblk, data, NoTenant)
+}
+
+// NoTenant marks an I/O with no tenant attribution: it bypasses the
+// admission hook and carries no tenant label on its trace span.
+const NoTenant = -1
+
+// AdmitFunc is the client-side admission gate consulted for every
+// tenant-tagged I/O before any submission work happens. Returning false
+// sheds the request: the client returns ErrShed without allocating a
+// CID or bounce slot, so the retry/timeout machinery never runs.
+type AdmitFunc func(tenant int, now int64) bool
+
+// SetAdmission installs (or, with nil, removes) the admission gate.
+func (c *Client) SetAdmission(f AdmitFunc) { c.admit = f }
+
+// ReadBlocksTenant is ReadBlocks with tenant attribution: the I/O
+// passes the admission gate and its trace span carries the tenant.
+func (c *Client) ReadBlocksTenant(p *sim.Proc, tenant int, lba uint64, nblk int, buf []byte) error {
+	return c.io(p, nvme.IORead, lba, nblk, buf, tenant)
+}
+
+// WriteBlocksTenant is WriteBlocks with tenant attribution.
+func (c *Client) WriteBlocksTenant(p *sim.Proc, tenant int, lba uint64, nblk int, data []byte) error {
+	return c.io(p, nvme.IOWrite, lba, nblk, data, tenant)
 }
 
 // Flush implements block.Device.
@@ -660,9 +696,16 @@ func (c *Client) Flush(p *sim.Proc) error {
 	return nil
 }
 
-func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte) error {
+func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte, tenant int) error {
 	if c.closed {
 		return ErrClosed
+	}
+	// Admission gates ahead of everything: a shed request must cost
+	// nothing (no slot, no CID, no timeout accounting) and must never be
+	// retried — ErrShed is deliberately neither transient nor fatal.
+	if c.admit != nil && tenant != NoTenant && !c.admit(tenant, p.Now()) {
+		c.Sheds++
+		return ErrShed
 	}
 	n := nblk * c.BlockSize()
 	if len(buf) != n {
@@ -673,7 +716,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 	}
 	backoff := c.params.RetryBackoffNs
 	for attempt := 0; ; attempt++ {
-		err := c.ioAttempt(p, opcode, lba, nblk, buf)
+		err := c.ioAttempt(p, opcode, lba, nblk, buf, tenant)
 		if err == nil || attempt >= c.params.MaxRetries ||
 			c.closed || c.crashed.Load() || !IsTransient(err) {
 			return err
@@ -688,7 +731,7 @@ func (c *Client) io(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte)
 }
 
 // ioAttempt performs one submission attempt of a read/write.
-func (c *Client) ioAttempt(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte) error {
+func (c *Client) ioAttempt(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf []byte, tenant int) error {
 	n := nblk * c.BlockSize()
 	phaseStart := p.Now()
 	p.Sleep(c.params.SubmitOverheadNs)
@@ -802,6 +845,9 @@ func (c *Client) ioAttempt(p *sim.Proc, opcode uint8, lba uint64, nblk int, buf 
 		end := p.Now()
 		reapStart := deviceDone - c.params.CompleteOverheadNs
 		tr.Begin(qid, cid, opcode, phaseStart)
+		if tenant != NoTenant {
+			tr.SetTenant(qid, cid, int32(tenant))
+		}
 		tr.Hop(qid, cid, trace.StageSubmit, phaseStart, submitDone)
 		tr.Hop(qid, cid, trace.StageDataIn, submitDone, inCopyDone)
 		tr.Hop(qid, cid, trace.StageDevice, inCopyDone, reapStart)

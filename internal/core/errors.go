@@ -30,6 +30,11 @@ var (
 	// ErrBadBuffer is returned when a caller's buffer length does not
 	// match the block count of the request.
 	ErrBadBuffer = errors.New("core: buffer size does not match request")
+	// ErrShed is returned when the admission gate refuses a tenant's
+	// request before submission. It is deliberately neither transient nor
+	// fatal: the client must not retry it (the load is the problem, not a
+	// fault) and the queue pair stays perfectly healthy.
+	ErrShed = errors.New("core: request shed by admission control")
 )
 
 // classified attaches a retryability class to an error without

@@ -45,6 +45,22 @@ type ManagerParams struct {
 	LeaseNs int64
 	// ReaperIntervalNs is the lease-scan cadence (default LeaseNs/4).
 	ReaperIntervalNs int64
+	// WRR, when non-nil, selects weighted-round-robin-with-urgent
+	// arbitration at controller bring-up (CC.AMS) and programs the
+	// Arbitration feature with its burst and class weights. Nil keeps
+	// the default round-robin arbitration.
+	WRR *ArbConfig
+}
+
+// ArbConfig is the WRR arbitration programming the manager applies at
+// bring-up (NVMe Arbitration feature encoding: Burst is the AB exponent
+// — 2^AB commands per queue per turn, 7 = unlimited — and the weights
+// are 0-based, so value w grants w+1 credits per round).
+type ArbConfig struct {
+	Burst uint8
+	HPW   uint8
+	MPW   uint8
+	LPW   uint8
 }
 
 func (mp ManagerParams) withDefaults() ManagerParams {
@@ -103,6 +119,9 @@ type qpRequest struct {
 	// cmbBytes, when nonzero, asks the manager to place the SQ inside
 	// the controller memory buffer instead of host memory.
 	cmbBytes uint64
+	// prio is the SQ's wire priority class (nvme.QPrio*), honored when
+	// the controller arbitrates with WRR.
+	prio uint8
 	// ref and host identify the requesting client for session tracking
 	// (LeaseNs managers); ref is released when the session is reclaimed.
 	ref   *smartio.Ref
@@ -220,9 +239,18 @@ func NewManager(p *sim.Proc, svc *smartio.Service, devID smartio.DeviceID, node 
 	}
 	m := &Manager{svc: svc, node: node, ref: ref, params: params, barBase: bar}
 	m.admin = nvme.NewAdminClient(node.Host(), bar)
+	if params.WRR != nil {
+		m.admin.AMS = nvme.AMSWRRUrgent
+	}
 	if err := m.admin.Enable(p, params.AdminDepth); err != nil {
 		ref.Release()
 		return nil, err
+	}
+	if w := params.WRR; w != nil {
+		if _, err := m.admin.SetArbitration(p, w.Burst, w.HPW, w.MPW, w.LPW); err != nil {
+			ref.Release()
+			return nil, err
+		}
 	}
 	// Discover the controller memory buffer, if any (CMBLOC/CMBSZ).
 	cmbsz, err := m.admin.Reg32(p, nvme.RegCMBSZ)
@@ -487,7 +515,7 @@ func (m *Manager) createQP(p *sim.Proc, req *qpRequest) (QueueGrant, error) {
 			return QueueGrant{}, err
 		}
 	}
-	if err := m.admin.CreateQueuePair(p, qid, depth, sqDevAddr, req.cqDevAddr, ien, iv); err != nil {
+	if err := m.admin.CreateQueuePairPrio(p, qid, depth, sqDevAddr, req.cqDevAddr, ien, iv, req.prio); err != nil {
 		return QueueGrant{}, err
 	}
 	grant := QueueGrant{QID: qid, Depth: depth, DSTRD: m.admin.DSTRD, IV: iv,
@@ -580,6 +608,9 @@ type QueueRequest struct {
 	IOVABytes uint64
 	// CMBBytes, when nonzero, asks for SQ placement in controller memory.
 	CMBBytes uint64
+	// Prio selects the SQ's WRR priority class; the zero value maps to
+	// medium.
+	Prio QueuePrio
 	// Ref and Host identify the requester for session tracking: on a
 	// LeaseNs manager, a non-nil Ref registers a session whose lease the
 	// client must refresh via heartbeats, and whose DMA windows the
@@ -588,12 +619,39 @@ type QueueRequest struct {
 	Host uint32
 }
 
+// QueuePrio selects a submission queue's WRR priority class. The zero
+// value deliberately maps to medium — on the NVMe wire, QPRIO 0 means
+// urgent, an unsafe default for callers that never chose a class.
+type QueuePrio int
+
+const (
+	PrioDefault QueuePrio = iota
+	PrioUrgent
+	PrioHigh
+	PrioMedium
+	PrioLow
+)
+
+// wire converts to the nvme.QPrio* encoding.
+func (q QueuePrio) wire() uint8 {
+	switch q {
+	case PrioUrgent:
+		return nvme.QPrioUrgent
+	case PrioHigh:
+		return nvme.QPrioHigh
+	case PrioLow:
+		return nvme.QPrioLow
+	default:
+		return nvme.QPrioMedium
+	}
+}
+
 // RequestQueue asks the manager to create an I/O queue pair. Called from
 // a client process; the round trip models the shared-memory RPC of §V.
 func (m *Manager) RequestQueue(p *sim.Proc, r QueueRequest) (QueueGrant, error) {
 	req := &qpRequest{depth: r.Depth, sqDevAddr: r.SQDevAddr, cqDevAddr: r.CQDevAddr,
 		msiDevAddr: r.MSIAddr, iovaBytes: r.IOVABytes, cmbBytes: r.CMBBytes,
-		ref: r.Ref, host: r.Host,
+		prio: r.Prio.wire(), ref: r.Ref, host: r.Host,
 		reply: sim.NewEvent(p.Kernel())}
 	p.Sleep(m.params.RPCTransportNs)
 	m.mail.Push(req)

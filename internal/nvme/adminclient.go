@@ -32,6 +32,10 @@ type AdminClient struct {
 	DSTRD uint8
 	// MQES is read from CAP during Enable.
 	MQES uint16
+	// AMS selects the arbitration mechanism written into CC.AMS at
+	// Enable (AMSRoundRobin or AMSWRRUrgent). Enable fails when the
+	// controller's CAP.AMS does not advertise the requested mechanism.
+	AMS uint8
 
 	sqMem, cqMem pcie.Addr
 }
@@ -119,6 +123,13 @@ func (a *AdminClient) Enable(p *sim.Proc, depth int) error {
 		return err
 	}
 	cc := uint32(CCEnable) | 6<<CCIOSQESShift | 4<<CCIOCQESShift
+	if a.AMS != AMSRoundRobin {
+		if a.AMS != AMSWRRUrgent || capReg&CAPAMSWRRU == 0 {
+			return fmt.Errorf("%w: CAP.AMS does not advertise arbitration mechanism %d",
+				ErrCommandFailed, a.AMS)
+		}
+		cc |= uint32(a.AMS) << CCAMSShift
+	}
 	if err := a.WriteReg32(p, RegCC, cc); err != nil {
 		return err
 	}
@@ -274,8 +285,16 @@ func (a *AdminClient) SetVolatileWriteCache(p *sim.Proc, on bool) (bool, error) 
 // CreateQueuePair creates I/O CQ and SQ qid with the given depth. sqAddr
 // and cqAddr must be DMA-able addresses in the *controller's* domain —
 // for remote queue memory these are device-side NTB window addresses
-// resolved by SmartIO. If ien, completions raise MSI vector iv.
+// resolved by SmartIO. If ien, completions raise MSI vector iv. The SQ
+// is created in the medium priority class.
 func (a *AdminClient) CreateQueuePair(p *sim.Proc, qid uint16, depth int, sqAddr, cqAddr pcie.Addr, ien bool, iv uint16) error {
+	return a.CreateQueuePairPrio(p, qid, depth, sqAddr, cqAddr, ien, iv, QPrioMedium)
+}
+
+// CreateQueuePairPrio is CreateQueuePair with an explicit submission
+// queue priority class (QPrio*), honored when the controller arbitrates
+// with WRR.
+func (a *AdminClient) CreateQueuePairPrio(p *sim.Proc, qid uint16, depth int, sqAddr, cqAddr pcie.Addr, ien bool, iv uint16, prio uint8) error {
 	cdw11 := uint32(1) // PC
 	if ien {
 		cdw11 |= 2
@@ -287,11 +306,29 @@ func (a *AdminClient) CreateQueuePair(p *sim.Proc, qid uint16, depth int, sqAddr
 		return fmt.Errorf("create CQ %d: %w", qid, err)
 	}
 	sq := SQE{Opcode: AdminCreateIOSQ, PRP1: sqAddr,
-		CDW10: uint32(qid) | uint32(depth-1)<<16, CDW11: 1 | uint32(qid)<<16}
+		CDW10: uint32(qid) | uint32(depth-1)<<16,
+		CDW11: 1 | uint32(prio&3)<<1 | uint32(qid)<<16}
 	if _, err := a.Exec(p, &sq); err != nil {
 		return fmt.Errorf("create SQ %d: %w", qid, err)
 	}
 	return nil
+}
+
+// SetArbitration programs the Arbitration feature (burst exponent AB
+// plus high/medium/low weights, all in spec encoding) and returns the
+// value the controller reports afterwards.
+func (a *AdminClient) SetArbitration(p *sim.Proc, ab, hpw, mpw, lpw uint8) (uint32, error) {
+	set := SQE{Opcode: AdminSetFeatures, CDW10: FeatArbitration,
+		CDW11: ArbitrationCDW11(ab, hpw, mpw, lpw)}
+	if _, err := a.Exec(p, &set); err != nil {
+		return 0, err
+	}
+	get := SQE{Opcode: AdminGetFeatures, CDW10: FeatArbitration}
+	cqe, err := a.Exec(p, &get)
+	if err != nil {
+		return 0, err
+	}
+	return cqe.DW0, nil
 }
 
 // DeleteQueuePair deletes I/O SQ then CQ qid.

@@ -107,7 +107,10 @@ func (c *Controller) adminCreateSQ(cmd *SQE) uint16 {
 	if int(cqid) >= c.params.MaxQueuePairs || c.cqs[cqid] == nil || !c.cqs[cqid].created {
 		return Status(SCTCmdSpecific, SCInvalidCQ)
 	}
-	c.sqs[qid] = &subQueue{id: qid, base: cmd.PRP1, size: size, cqid: cqid, created: true}
+	c.sqs[qid] = &subQueue{
+		id: qid, base: cmd.PRP1, size: size, cqid: cqid, created: true,
+		prio: uint8(cmd.CDW11 >> 1 & 3), // QPRIO, meaningful under WRR
+	}
 	c.cqs[cqid].sqCount++
 	c.doorbell.Set() // the arbiter may be idle; re-scan queues
 	return StatusOK
@@ -150,6 +153,13 @@ func (c *Controller) adminFeatures(cmd *SQE) (uint16, uint32) {
 	fid := uint8(cmd.CDW10)
 	isSet := cmd.Opcode == AdminSetFeatures
 	switch fid {
+	case FeatArbitration:
+		if isSet {
+			c.arbCDW11 = cmd.CDW11
+			c.applyArb()
+			return StatusOK, 0
+		}
+		return StatusOK, c.arbCDW11
 	case FeatNumQueues:
 		// Grant up to MaxQueuePairs-1 I/O queues in each direction,
 		// regardless of the request (0-based encoding).

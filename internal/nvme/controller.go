@@ -109,6 +109,9 @@ type subQueue struct {
 	tail    int
 	cqid    uint16
 	created bool
+	// prio is the queue's declared priority class (QPrio*, from Create
+	// I/O SQ CDW11 bits 2:1). Only consulted when CC.AMS selects WRR.
+	prio uint8
 }
 
 type compQueue struct {
@@ -183,6 +186,14 @@ type Stats struct {
 	ResvReleases  uint64
 	ResvPreempts  uint64
 	ResvConflicts uint64
+	// ArbFetched counts I/O commands claimed by the arbitration loop,
+	// split by the submission queue's declared priority class (indexed
+	// by QPrio*). Queues carry their class under round-robin arbitration
+	// too, so the split attributes fetches in either mode.
+	ArbFetched [4]uint64
+	// ArbRounds counts weighted-round-robin credit refill rounds; stays
+	// zero under round-robin arbitration.
+	ArbRounds uint64
 }
 
 // Controller is a simulated single-function NVMe controller. Create it
@@ -241,6 +252,12 @@ type Controller struct {
 	// resv is the namespace's persistent-reservation state (one namespace).
 	resv *resvState
 
+	// arbCDW11 is the Arbitration feature (FID 0x01) value; wrr is the
+	// scheduler state derived from it, consulted only when CC.AMS selects
+	// WRR with urgent.
+	arbCDW11 uint32
+	wrr      wrrSched
+
 	// tracer records device-side hops (fetch, decode, medium, transfer,
 	// completion post) on the span keyed by (SQ ID, CID). Nil when
 	// tracing is off.
@@ -280,6 +297,8 @@ func New(name string, dom *pcie.Domain, node pcie.NodeID, bar pcie.Range, med Me
 	c.cqSpace = sim.NewSignal(c.kernel)
 	c.enableSig = sim.NewSignal(c.kernel)
 	c.inflight = sim.NewSemaphore(c.kernel, p.MaxInflight)
+	c.arbCDW11 = defaultArbCDW11
+	c.applyArb()
 	if p.CMBBytes > 0 {
 		if CMBBase+p.CMBBytes > bar.Size {
 			return nil, fmt.Errorf("nvme: CMB of %d bytes does not fit BAR of %#x", p.CMBBytes, bar.Size)
@@ -360,6 +379,7 @@ func (c *Controller) Fatal() bool { return c.csts&CSTSCFS != 0 }
 // cap builds the CAP register value.
 func (c *Controller) capReg() uint64 {
 	v := uint64(c.params.MQES)        // MQES
+	v |= CAPAMSWRRU                   // AMS: WRR with urgent supported
 	v |= uint64(20) << 24             // TO: 10 s in 500 ms units
 	v |= uint64(c.params.DSTRD) << 32 // DSTRD
 	v |= uint64(1) << 37              // CSS: NVM command set
@@ -481,6 +501,9 @@ func (c *Controller) reset() {
 		c.cqs[i] = nil
 	}
 	c.resv = newResvState()
+	// Feature values do not persist through a reset.
+	c.arbCDW11 = defaultArbCDW11
+	c.applyArb()
 }
 
 func (c *Controller) doorbellWrite(off uint64, data []byte) {
@@ -525,9 +548,10 @@ func (c *Controller) doorbellWrite(off uint64, data []byte) {
 	}
 }
 
-// run is the controller's main arbitration loop: round-robin across
-// submission queues with pending entries, dispatching one command per
-// queue per pass.
+// run is the controller's main arbitration loop. The arbitration
+// mechanism is selected by CC.AMS: plain round-robin across submission
+// queues (the default), or weighted round robin with urgent priority
+// class when the host selected AMSWRRUrgent at enable time.
 func (c *Controller) run(p *sim.Proc) {
 	rr := 0
 	for {
@@ -535,34 +559,55 @@ func (c *Controller) run(p *sim.Proc) {
 			p.WaitSignal(c.enableSig)
 			continue
 		}
-		progressed := false
-		n := len(c.sqs)
-		for i := 0; i < n; i++ {
-			sq := c.sqs[(rr+i)%n]
-			if sq == nil || !sq.created || sq.head == sq.tail {
-				continue
-			}
-			// Claim the slot now so the loop can move on; the worker
-			// fetches the entry itself (fetch latency depends on where
-			// the SQ memory lives — the Fig. 8 effect).
-			slot := sq.head
-			sq.head = (sq.head + 1) % sq.size
-			c.qstats[sq.id].SQOcc.Exit(p.Now())
-			p.Acquire(c.inflight)
-			q := sq
-			c.kernel.Spawn(fmt.Sprintf("%s/cmd-q%d-s%d", c.name, q.id, slot), func(wp *sim.Proc) {
-				defer c.inflight.Release()
-				c.execute(wp, q, slot)
-			})
-			progressed = true
+		var progressed bool
+		if c.cc>>CCAMSShift&CCAMSMask == AMSWRRUrgent {
+			progressed = c.wrrPass(p)
+		} else {
+			progressed = c.rrPass(p, &rr)
 		}
-		rr = (rr + 1) % n
 		if !progressed {
 			// No yields happen between the (empty) scan and this wait,
 			// so a doorbell cannot slip by unseen.
 			p.WaitSignal(c.doorbell)
 		}
 	}
+}
+
+// rrPass is one round-robin arbitration pass: every queue with pending
+// entries gets one command dispatched, starting after the queue served
+// first on the previous pass.
+func (c *Controller) rrPass(p *sim.Proc, rr *int) bool {
+	progressed := false
+	n := len(c.sqs)
+	for i := 0; i < n; i++ {
+		sq := c.sqs[(*rr+i)%n]
+		if sq == nil || !sq.created || sq.head == sq.tail {
+			continue
+		}
+		c.dispatch(p, sq)
+		progressed = true
+	}
+	*rr = (*rr + 1) % n
+	return progressed
+}
+
+// dispatch claims the next slot of sq and spawns a worker to execute
+// it. Claiming up front lets the arbitration loop move on; the worker
+// fetches the entry itself (fetch latency depends on where the SQ
+// memory lives — the Fig. 8 effect).
+func (c *Controller) dispatch(p *sim.Proc, sq *subQueue) {
+	slot := sq.head
+	sq.head = (sq.head + 1) % sq.size
+	c.qstats[sq.id].SQOcc.Exit(p.Now())
+	if sq.id != 0 {
+		c.Stats.ArbFetched[sq.prio&3]++
+	}
+	p.Acquire(c.inflight)
+	q := sq
+	c.kernel.Spawn(fmt.Sprintf("%s/cmd-q%d-s%d", c.name, q.id, slot), func(wp *sim.Proc) {
+		defer c.inflight.Release()
+		c.execute(wp, q, slot)
+	})
 }
 
 // QueueStats returns the per-queue counters for SQ qid (zero value for

@@ -47,10 +47,36 @@ const (
 // CC register bits.
 const (
 	CCEnable = 1 << 0
+	// CC.AMS (bits 13:11) selects the arbitration mechanism; the value must
+	// be one advertised by CAP.AMS.
+	CCAMSShift = 11
+	CCAMSMask  = 0x7
 	// IOSQES/IOCQES encode entry sizes as powers of two in bits 19:16 and
 	// 23:20; required values are 6 (64 B) and 4 (16 B).
 	CCIOSQESShift = 16
 	CCIOCQESShift = 20
+)
+
+// Arbitration mechanism values (CC.AMS). Round robin is always
+// supported; weighted round robin with urgent priority class is
+// advertised through CAP.AMS bit 17 (CAPAMSWRRU).
+const (
+	AMSRoundRobin = 0
+	AMSWRRUrgent  = 1
+)
+
+// CAPAMSWRRU is CAP bit 17: the controller supports weighted round
+// robin with urgent priority class arbitration.
+const CAPAMSWRRU = uint64(1) << 17
+
+// I/O submission queue priority classes (Create I/O SQ CDW11 QPRIO,
+// bits 2:1). Only meaningful when CC.AMS selects WRR with urgent;
+// under round-robin arbitration every queue is treated equally.
+const (
+	QPrioUrgent = 0
+	QPrioHigh   = 1
+	QPrioMedium = 2
+	QPrioLow    = 3
 )
 
 // CSTS register bits.
@@ -157,9 +183,28 @@ const (
 
 // Feature identifiers.
 const (
+	FeatArbitration        = 0x01
 	FeatVolatileWriteCache = 0x06
 	FeatNumQueues          = 0x07
 )
+
+// Arbitration feature (FID 0x01) CDW11 layout: AB in bits 2:0 (burst =
+// 2^AB commands per queue per turn, ArbBurstUnlimited = no limit), LPW
+// in 15:8, MPW in 23:16, HPW in 31:24. Weights are 0-based: a field
+// value w grants w+1 command credits per weighted round.
+const (
+	ArbBurstUnlimited = 0x7
+	ArbABMask         = 0x7
+	ArbLPWShift       = 8
+	ArbMPWShift       = 16
+	ArbHPWShift       = 24
+)
+
+// ArbitrationCDW11 packs the arbitration feature fields.
+func ArbitrationCDW11(ab, hpw, mpw, lpw uint8) uint32 {
+	return uint32(ab&ArbABMask) | uint32(lpw)<<ArbLPWShift |
+		uint32(mpw)<<ArbMPWShift | uint32(hpw)<<ArbHPWShift
+}
 
 // Log page identifiers.
 const (

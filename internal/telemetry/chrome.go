@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// CounterLanes renders the pipeline's sampled series whose metric name
+// starts with one of the given prefixes as Chrome counter ("C") tracks,
+// one lane per labeled series, on process pid. Loaded next to the span
+// events in Perfetto this puts the control-plane signals — qos.* admit
+// fractions, arrival.* stream counters, nvme.arb.* class credits — on
+// the same virtual-time axis as the I/O they shaped. Pass no prefixes
+// to export every series. Series and points come out in registration
+// and sample order, so output is deterministic.
+func (p *Pipeline) CounterLanes(pid int, prefixes ...string) []trace.CounterTrack {
+	var tracks []trace.CounterTrack
+	for _, s := range p.Series() {
+		if len(prefixes) > 0 {
+			keep := false
+			for _, pre := range prefixes {
+				if strings.HasPrefix(s.Name, pre) {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		tr := trace.CounterTrack{Name: s.FullName(), PID: pid, Series: "v"}
+		for _, pt := range s.Points() {
+			tr.Points = append(tr.Points, trace.CounterPoint{TSNs: pt.T, Value: pt.V})
+		}
+		if len(tr.Points) > 0 {
+			tracks = append(tracks, tr)
+		}
+	}
+	return tracks
+}

@@ -112,6 +112,9 @@ type Span struct {
 	Start int64
 	End   int64
 	Hops  []Hop
+	// Tenant attributes the span to a workload tenant; -1 (the value
+	// SetTenant never writes) means unattributed traffic.
+	Tenant int32
 }
 
 // Duration returns the span's end-to-end virtual time.
@@ -148,9 +151,17 @@ func (t *Tracer) span(qid, cid uint16) *Span {
 		return s
 	}
 	t.seq++
-	s := &Span{QID: qid, CID: cid, Seq: t.seq}
+	s := &Span{QID: qid, CID: cid, Seq: t.seq, Tenant: -1}
 	t.open[k] = s
 	return s
+}
+
+// SetTenant attributes the open span to a tenant.
+func (t *Tracer) SetTenant(qid, cid uint16, tenant int32) {
+	if t == nil {
+		return
+	}
+	t.span(qid, cid).Tenant = tenant
 }
 
 // Begin marks the span's start time and opcode. It may be called after
